@@ -1,0 +1,38 @@
+"""Ablation: the sample size n′ used to fit the signature.
+
+The paper attributes its Myrinet error to fitting at n′ = 24 while the
+fabric "becomes really saturate only when there are more than 40
+communicating processes".  This bench fits the Myrinet signature at
+several n′ and evaluates each at a saturated probe point.
+"""
+
+from repro.clusters.profiles import myrinet
+from repro.core.errors import relative_error_percent
+from repro.experiments.common import SCALES, reference_signature
+from repro.measure.alltoall import measure_alltoall
+
+
+def test_ablation_sample_size(benchmark):
+    scale = SCALES["bench"]
+    cluster = myrinet()
+    probe_n, probe_m = 44, 524_288
+
+    def ablation():
+        probe = measure_alltoall(cluster, probe_n, probe_m, reps=1, seed=51)
+        rows = []
+        for n_prime in (8, 16, 24, 40):
+            sig = reference_signature(cluster, n_prime, scale, seed=0)
+            err = relative_error_percent(
+                probe.mean_time, sig.predict(probe_n, probe_m)
+            )
+            rows.append((n_prime, sig.gamma, err))
+        return rows
+
+    rows = benchmark.pedantic(ablation, rounds=1, iterations=1)
+    print(f"\n[ablation] signature sample size n' (myrinet, probe n={probe_n})")
+    print(f"  {'n_prime':>8} {'gamma':>8} {'error at probe %':>17}")
+    for n_prime, gamma, err in rows:
+        print(f"  {n_prime:>8} {gamma:>8.3f} {err:>17.1f}")
+    gammas = {n: g for n, g, _ in rows}
+    # Tiny samples under-estimate contention (the paper's point).
+    assert gammas[8] < gammas[40] * 1.25

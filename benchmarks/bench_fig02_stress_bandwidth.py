@@ -1,0 +1,13 @@
+"""Bench: Fig. 2 — average bandwidth vs simultaneous connections."""
+
+import numpy as np
+
+
+def test_fig02_stress_bandwidth(run_figure):
+    result = run_figure("fig02")
+    ks, bw = result.series["Average bandwidth"]
+    # Shape assertions the paper's figure shows: near-NIC bandwidth for
+    # one connection, hyperbolic decay under saturation.
+    assert bw[0] > 80.0  # MB/s, single connection near line rate
+    assert bw[-1] < bw[0] / 3.0  # strong decay by k=60
+    assert np.all(np.diff(bw) <= 1e-6)  # monotone non-increasing

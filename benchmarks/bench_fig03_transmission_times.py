@@ -1,0 +1,14 @@
+"""Bench: Fig. 3 — individual transmission times under flood."""
+
+
+def test_fig03_transmission_times(run_figure):
+    result = run_figure("fig03")
+    ks, avg = result.series["average"]
+    # Average transfer time rises strongly from k=1 to saturation
+    # (paper: ~0.3 s to ~1.5 s).
+    assert avg[-1] > 3.0 * avg[0]
+    xs, ys = result.scatter_xy
+    assert len(xs) == len(ys) > 0
+    # The tail: slowest transfer visibly above the average at max k.
+    at_max = ys[xs == xs.max()]
+    assert at_max.max() >= avg[-1]

@@ -1,0 +1,18 @@
+"""Bench: Fig. 4 — two-beta synthetic prediction vs measurement."""
+
+import numpy as np
+
+
+def test_fig04_two_beta(run_figure):
+    result = run_figure("fig04")
+    m, measured = result.series["Direct Exchange"]
+    _, predicted = result.series["Prediction (synthetic beta)"]
+    _, bound = result.series["Lower bound"]
+    # The paper's ordering for large messages: bound < prediction,
+    # and the prediction lands in the right magnitude of the measurement.
+    large = m >= 262_144
+    assert np.all(bound[large] < predicted[large])
+    ratio = predicted[large] / measured[large]
+    assert 0.3 < float(ratio.mean()) < 3.0
+    # The two contention states must be well separated (paper: ~10x).
+    assert result.params["beta_contended"] > 3.0 * result.params["beta_free"]

@@ -1,0 +1,17 @@
+"""Bench: Fig. 5 — small-message non-linearity surface."""
+
+import numpy as np
+
+
+def test_fig05_small_messages(run_figure):
+    result = run_figure("fig05")
+    grid = result.surfaces["Direct Exchange"]
+    # Completion time grows with node count at fixed m.
+    assert np.all(grid[-1] >= grid[0] - 1e-12)
+    # Non-linearity: the largest-n curve deviates from the straight line
+    # through its endpoints (the whole point of the figure).
+    times = grid[-1]
+    m = result.m_values.astype(float)
+    straight = times[0] + (times[-1] - times[0]) * (m - m[0]) / (m[-1] - m[0])
+    deviation = np.max(np.abs(times - straight) / np.abs(straight))
+    assert deviation > 0.02

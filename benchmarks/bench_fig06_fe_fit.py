@@ -1,0 +1,21 @@
+"""Bench: Fig. 6 — Fast Ethernet fit (gamma ~ 1, delta ~ 8 ms)."""
+
+import numpy as np
+
+
+def test_fig06_fe_fit(run_figure):
+    result = run_figure("fig06")
+    gamma = result.params["gamma"]
+    delta = result.params["delta"]
+    # Paper: gamma = 1.0195 (wire time dwarfs retransmission penalty),
+    # delta = 8.23 ms. Bands are generous: the substrate is a simulator.
+    assert 0.9 <= gamma <= 1.3
+    assert 4e-3 <= delta <= 14e-3
+    m, measured = result.series["Direct Exchange"]
+    _, bound = result.series["Lower bound"]
+    _, predicted = result.series["Prediction"]
+    assert np.all(measured >= bound * 0.95)
+    # Prediction tracks measurement far better than the bound does.
+    pred_err = np.abs(measured - predicted).mean()
+    bound_err = np.abs(measured - bound).mean()
+    assert pred_err < bound_err

@@ -1,0 +1,18 @@
+"""Bench: Fig. 7 — Fast Ethernet prediction surface."""
+
+import numpy as np
+
+from repro.core.errors import relative_error_percent
+
+
+def test_fig07_fe_surface(run_figure):
+    result = run_figure("fig07")
+    measured = result.surfaces["Direct Exchange"]
+    predicted = result.surfaces["Prediction"]
+    err = relative_error_percent(measured, predicted)
+    # Saturated region (n >= fit size 24): errors stay small on FE.
+    saturated_rows = result.n_values >= 24
+    assert np.median(np.abs(err[saturated_rows])) < 25.0
+    # Time grows with n and with m.
+    assert np.all(np.diff(measured, axis=0) > -1e-9)
+    assert np.all(np.diff(measured, axis=1) > 0)

@@ -1,0 +1,12 @@
+"""Bench: Fig. 8 — Fast Ethernet estimation error vs process count."""
+
+import numpy as np
+
+
+def test_fig08_fe_error(run_figure):
+    result = run_figure("fig08")
+    # Paper: error usually < 10% once the network is saturated; FE is the
+    # best-behaved of the three networks.
+    for label, (ns, errors) in result.series.items():
+        saturated = np.asarray(ns) >= 20
+        assert np.median(np.abs(np.asarray(errors)[saturated])) < 25.0, label

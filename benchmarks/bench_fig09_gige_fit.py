@@ -1,0 +1,18 @@
+"""Bench: Fig. 9 — Gigabit Ethernet fit (gamma ~ 4.4, delta ~ 5 ms)."""
+
+import numpy as np
+
+
+def test_fig09_gige_fit(run_figure):
+    result = run_figure("fig09")
+    gamma = result.params["gamma"]
+    delta = result.params["delta"]
+    # Paper: gamma = 4.3628, delta = 4.93 ms above 8 kB.
+    assert 3.0 <= gamma <= 6.0
+    assert 2e-3 <= delta <= 9e-3
+    m, measured = result.series["Direct Exchange"]
+    _, bound = result.series["Lower bound"]
+    # The defining feature of the GigE figure: measurement far above the
+    # contention-free bound (unlike Fast Ethernet).
+    large = m >= 262_144
+    assert np.all(measured[large] > 2.0 * bound[large])

@@ -1,0 +1,18 @@
+"""Bench: Fig. 10 — Gigabit Ethernet prediction surface."""
+
+import numpy as np
+
+from repro.core.errors import relative_error_percent
+
+
+def test_fig10_gige_surface(run_figure):
+    result = run_figure("fig10")
+    measured = result.surfaces["Direct Exchange"]
+    predicted = result.surfaces["Prediction"]
+    err = relative_error_percent(measured, predicted)
+    saturated_rows = result.n_values >= 30
+    assert np.median(np.abs(err[saturated_rows])) < 30.0
+    # Unsaturated small-n rows must be strongly over-predicted
+    # (negative error), the paper's hallmark.
+    small_rows = result.n_values <= 10
+    assert np.median(err[small_rows]) < -30.0

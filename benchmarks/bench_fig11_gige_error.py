@@ -1,0 +1,14 @@
+"""Bench: Fig. 11 — Gigabit Ethernet estimation error vs process count."""
+
+import numpy as np
+
+
+def test_fig11_gige_error(run_figure):
+    result = run_figure("fig11")
+    for label, (ns, errors) in result.series.items():
+        ns = np.asarray(ns)
+        errors = np.asarray(errors)
+        # Small n: strong over-prediction (paper reaches ~ -80%).
+        assert errors[ns <= 5].mean() < -40.0, label
+        # At the fit size (40), error is small by construction.
+        assert abs(errors[ns == 40]).min() < 30.0, label

@@ -1,0 +1,17 @@
+"""Bench: Fig. 12 — Myrinet fit (gamma ~ 2.5, delta ~ 0)."""
+
+import numpy as np
+
+
+def test_fig12_myrinet_fit(run_figure):
+    result = run_figure("fig12")
+    gamma = result.params["gamma"]
+    delta = result.params["delta"]
+    # Paper: gamma = 2.49754, delta below 1 us (dropped by the fit).
+    assert 1.8 <= gamma <= 3.5
+    assert delta <= 2e-3
+    m, measured = result.series["Direct Exchange"]
+    _, bound = result.series["Lower bound"]
+    large = m >= 262_144
+    # Contention present (well above bound) but milder than GigE.
+    assert np.all(measured[large] > 1.3 * bound[large])

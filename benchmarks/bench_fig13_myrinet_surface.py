@@ -1,0 +1,16 @@
+"""Bench: Fig. 13 — Myrinet prediction surface."""
+
+import numpy as np
+
+from repro.core.errors import relative_error_percent
+
+
+def test_fig13_myrinet_surface(run_figure):
+    result = run_figure("fig13")
+    measured = result.surfaces["Direct Exchange"]
+    predicted = result.surfaces["Prediction"]
+    err = relative_error_percent(measured, predicted)
+    # Around the sample size (24) predictions hold reasonably.
+    near_sample = (result.n_values >= 20) & (result.n_values <= 40)
+    assert np.median(np.abs(err[near_sample])) < 35.0
+    assert np.all(np.diff(measured, axis=1) > 0)

@@ -1,0 +1,13 @@
+"""Bench: Fig. 14 — Myrinet estimation error vs process count."""
+
+import numpy as np
+
+
+def test_fig14_myrinet_error(run_figure):
+    result = run_figure("fig14")
+    for label, (ns, errors) in result.series.items():
+        ns = np.asarray(ns)
+        errors = np.asarray(errors)
+        # Reasonable error near the fit size n' = 24.
+        near = (ns >= 20) & (ns <= 30)
+        assert np.abs(errors[near]).min() < 35.0, label

@@ -1,0 +1,20 @@
+"""Bench: Table S — fitted signatures vs paper values, all networks."""
+
+
+def test_table_signatures(run_figure):
+    result = run_figure("tableS")
+    rows = {r["network"]: r for r in result.params["rows"]}
+    fe = rows["fast-ethernet"]
+    gige = rows["gigabit-ethernet"]
+    myri = rows["myrinet"]
+    # The paper's qualitative signature ordering (the headline claim):
+    assert gige["gamma_fitted"] > myri["gamma_fitted"] > fe["gamma_fitted"]
+    # FE is essentially contention-ratio-free.
+    assert abs(fe["gamma_fitted"] - 1.0) < 0.3
+    # delta ordering: FE > GigE >> Myrinet ~ 0.
+    assert fe["delta_fitted_ms"] > gige["delta_fitted_ms"] > myri["delta_fitted_ms"]
+    assert myri["delta_fitted_ms"] < 2.0
+    # Quantitative proximity to the paper's parameters (generous bands:
+    # the substrate is a calibrated simulator, not the 2006 testbed).
+    assert abs(gige["gamma_fitted"] - gige["gamma_paper"]) / gige["gamma_paper"] < 0.4
+    assert abs(myri["gamma_fitted"] - myri["gamma_paper"]) / myri["gamma_paper"] < 0.4

@@ -1,0 +1,51 @@
+"""Benchmark harness support.
+
+Each bench runs one paper experiment once (simulations are themselves
+the measured workload), prints the same series/rows the paper's figure
+reports, and persists the rendered figure + CSV under
+``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: scale used by the benchmark harness (default-size grids, 1 repetition).
+BENCH_SCALE = "bench"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def run_figure(benchmark, output_dir):
+    """Run a registered experiment under pytest-benchmark and report it."""
+
+    def _run(exp_id: str, *, seed: int = 0, scale: str = BENCH_SCALE):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(exp_id,),
+            kwargs={"scale": scale, "seed": seed},
+            rounds=1,
+            iterations=1,
+        )
+        rendered = result.render()
+        print()
+        print(rendered)
+        (output_dir / f"{exp_id}.txt").write_text(rendered + "\n")
+        result.save_csv(output_dir / f"{exp_id}.csv")
+        for key in ("gamma", "delta", "threshold"):
+            if key in result.params:
+                benchmark.extra_info[key] = result.params[key]
+        return result
+
+    return _run

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Compare All-to-All algorithms under network contention.
+
+Runs the four implemented algorithms (LAM-style simultaneous direct
+exchange, Algorithm-1 sendrecv rounds, Bruck, store-and-forward ring)
+on the simulated Gigabit Ethernet cluster across message sizes, printing
+the crossovers: Bruck wins the latency regime, direct exchange wins the
+bandwidth regime, the ring loses whenever bandwidth matters (paper §4).
+
+Run:  python examples/algorithm_comparison.py   (~1 minute)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import clusters
+from repro.measure import measure_alltoall
+from repro.simmpi.collectives import ALGORITHMS
+from repro.units import format_size
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cluster", default="gigabit-ethernet",
+                        choices=sorted(clusters.CLUSTERS))
+    parser.add_argument("--nprocs", type=int, default=12)
+    parser.add_argument("--reps", type=int, default=2)
+    args = parser.parse_args()
+
+    cluster = clusters.get_cluster(args.cluster)
+    sizes = [256, 4_096, 65_536, 524_288]
+    names = sorted(ALGORITHMS)
+
+    print(f"MPI_Alltoall algorithms on {cluster.name}, n={args.nprocs}\n")
+    header = f"{'message':>10} | " + " ".join(f"{n:>12}" for n in names)
+    print(header)
+    print("-" * len(header))
+    winners = {}
+    for m in sizes:
+        times = {}
+        for name in names:
+            sample = measure_alltoall(
+                cluster, args.nprocs, m, reps=args.reps, seed=7,
+                algorithm=name,
+            )
+            times[name] = sample.mean_time
+        winner = min(times, key=times.get)
+        winners[m] = winner
+        row = f"{format_size(m):>10} | " + " ".join(
+            f"{times[n]:>11.5f}{'*' if n == winner else ' '}" for n in names
+        )
+        print(row)
+    print("\n(* = fastest; times in seconds)")
+    print(
+        f"latency regime winner : {winners[sizes[0]]}   "
+        f"bandwidth regime winner: {winners[sizes[-1]]}"
+    )
+    print(
+        "\nNote how the simultaneous direct exchange — the algorithm LAM "
+        "and MPICH shipped, and the one the paper models — loses ground "
+        "at large messages precisely because it floods the fabric: the "
+        "blocking per-round variant sidesteps part of the contention. "
+        "That gap IS the contention effect the signature model (gamma, "
+        "delta) quantifies; the store-and-forward ring loses on sheer "
+        "bytes moved (paper section 4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Model your own cluster and fit its contention signature.
+
+Shows the full extensibility path: define a topology (here a two-tier
+10 GbE fat-tree-ish fabric with 3:1 oversubscription), a transport
+stack, and a loss model; then run the paper's characterisation pipeline
+on it and read off (gamma, delta, M).
+
+Run:  python examples/custom_cluster.py   (~1 minute)
+"""
+
+from __future__ import annotations
+
+from repro.clusters.profiles import ClusterProfile
+from repro.measure import characterize_cluster
+from repro.simnet.entities import LinkKind
+from repro.simnet.loss import LossParams
+from repro.simnet.topology import edge_core
+from repro.simmpi.transport import TransportParams
+
+MB = 1_000_000.0
+
+
+def build_profile() -> ClusterProfile:
+    """A 2010s-flavour 10 GbE cluster with oversubscribed uplinks."""
+    return ClusterProfile(
+        name="custom-10gige",
+        description="hypothetical 10 GbE, 12 nodes/edge, 3:1 oversubscription",
+        topology_factory=lambda n: edge_core(
+            n,
+            nic_bandwidth=1_170.0 * MB,
+            hosts_per_edge=12,
+            trunk_bandwidth=4_680.0 * MB,  # 3:1 oversubscribed uplink
+            core_backplane=None,
+            name="custom-10gige",
+        ),
+        transport=TransportParams(
+            name="tcp-10gige",
+            base_latency=12e-6,
+            eager_threshold=65_536,
+            envelope_bytes=64,
+            mss=8_948,  # jumbo frames
+            per_segment_wire_bytes=58,
+            per_segment_host_time=0.2e-6,
+            per_message_send_overhead=5e-6,
+            ctrl_overhead=3e-6,
+            mux_overhead=1.2e-3,
+            mux_threshold=16_384,
+            jitter_scale=5e-6,
+        ),
+        loss=LossParams(
+            coeff_per_byte=6e-10,
+            sat_flows={
+                LinkKind.HOST_RX: 16,
+                LinkKind.HOST_TX: 16,
+                LinkKind.TRUNK: 32,
+            },
+            # Modern stacks: SACK/fast-recovery keeps timeout stalls short.
+            rto_min=0.050,
+            rto_max=0.200,
+        ),
+        start_skew_scale=100e-6,
+        max_hosts=96,
+    )
+
+
+def main() -> None:
+    cluster = build_profile()
+    print(f"characterising {cluster.name} ({cluster.description})...\n")
+    ch = characterize_cluster(cluster, sample_nprocs=24, reps=2, seed=0)
+    print(f"hockney   : {ch.hockney_fit.params}")
+    print(f"signature : {ch.signature}")
+    print("\nsample fit points:")
+    print(f"{'m (bytes)':>10} {'measured (s)':>13} {'predicted (s)':>14}")
+    for sample in ch.samples:
+        predicted = float(
+            ch.predictor.predict(sample.n_processes, sample.msg_size)
+        )
+        print(f"{sample.msg_size:>10} {sample.mean_time:>13.5f} {predicted:>14.5f}")
+    print(
+        "\nOversubscribed uplinks push gamma above 1 even on 10 GbE — "
+        "the contention signature quantifies how far."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's §3 stress methodology on any profile.
+
+Floods the network with an increasing number of simultaneous transfers
+(Fig. 1), reports the average per-connection bandwidth curve (Fig. 2)
+and the per-connection time spread (Fig. 3), and extracts the two-state
+gap-per-byte parameters beta_F / beta_C that feed the §6 model.
+
+Run:  python examples/network_stress_probe.py [--cluster myrinet]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import clusters
+from repro.analysis import line_plot
+from repro.core.throughput import two_beta_from_states
+from repro.measure import stress_sweep
+from repro.units import format_bandwidth
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cluster", default="gigabit-ethernet",
+                        choices=sorted(clusters.CLUSTERS))
+    parser.add_argument("--transfer-mb", type=int, default=32)
+    parser.add_argument("--max-connections", type=int, default=40)
+    args = parser.parse_args()
+
+    cluster = clusters.get_cluster(args.cluster)
+    transfer = args.transfer_mb * 1024 * 1024
+    ks = [1, 2, 4, 8, 16, 24, 32, args.max_connections]
+    ks = sorted({k for k in ks if 2 * k <= cluster.max_hosts})
+
+    print(f"flooding {cluster.name} with up to {ks[-1]} simultaneous "
+          f"{args.transfer_mb} MB transfers...\n")
+    sweep = stress_sweep(cluster, ks, transfer, reps=2, seed=3)
+
+    k_axis, bw = sweep.mean_throughput_curve()
+    print(line_plot(
+        {"average bandwidth (MB/s)": (k_axis, bw / 1e6)},
+        title=f"Fig. 2 analogue — {cluster.name}",
+        xlabel="connections", ylabel="MB/s",
+    ))
+
+    _, avg_time = sweep.average_time_curve()
+    print()
+    print(line_plot(
+        {"average transfer time (s)": (k_axis, avg_time)},
+        title=f"Fig. 3 analogue — {cluster.name}",
+        xlabel="connections", ylabel="seconds",
+    ))
+
+    model = two_beta_from_states(
+        transfer, sweep.runs[0][0].times, sweep.saturated_times(), alpha=50e-6
+    )
+    print(f"\nbeta_F (contention-free) : {model.beta_free:.3e} s/B "
+          f"({format_bandwidth(1 / model.beta_free)})")
+    print(f"beta_C (contended)       : {model.beta_contended:.3e} s/B "
+          f"({format_bandwidth(1 / model.beta_contended)})")
+    print(f"synthetic beta (rho=0.5) : {model.beta_synthetic:.3e} s/B")
+    print("\n(the paper's GigE values: beta_F=8.502e-9, beta_C=8.498e-8)")
+
+
+if __name__ == "__main__":
+    main()

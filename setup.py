@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation --no-use-pep517` uses this legacy
+path (setup.py develop), which does not require building a wheel.  All
+metadata lives in pyproject.toml; this file only exists for offline
+editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""repro — reproduction of Steffenel, "Modeling Network Contention
+Effects on All-to-All Operations" (IEEE CLUSTER 2006).
+
+Public API tour
+---------------
+* :mod:`repro.core` — the paper's models: Hockney α/β, MED lower bounds
+  (Claims 1–3, Proposition 1), the two-β throughput model (§6) and the
+  contention signature (γ, δ, M) model (§7) with GLS fitting.
+* :mod:`repro.clusters` — calibrated virtual clusters standing in for
+  the paper's Fast Ethernet / Gigabit Ethernet / Myrinet testbeds.
+* :mod:`repro.measure` — the §8 measurement procedures (ping-pong,
+  stress flood, All-to-All sweeps, full characterisation pipeline).
+* :mod:`repro.simnet` / :mod:`repro.simmpi` — the substrates: a fluid
+  discrete-event network simulator and an MPI-like runtime with four
+  All-to-All algorithms.
+* :mod:`repro.experiments` — one driver per paper figure/table.
+
+Quickstart
+----------
+>>> from repro import clusters, measure
+>>> gige = clusters.gigabit_ethernet()
+>>> ch = measure.characterize_cluster(gige, sample_nprocs=8, reps=1,
+...                                   pingpong_reps=1)
+>>> t = ch.predictor.predict(16, 262_144)   # predict unseen (n, m)
+>>> t > 0
+True
+"""
+
+from . import clusters, core, measure, simmpi, simnet
+from ._version import __version__
+from .core import (
+    MED,
+    AlltoallPredictor,
+    AlltoallSample,
+    ContentionSignature,
+    HockneyParams,
+    alltoall_lower_bound,
+    fit_signature,
+)
+from .clusters import fast_ethernet, get_cluster, gigabit_ethernet, myrinet
+from .measure import characterize_cluster
+
+__all__ = [
+    "clusters",
+    "core",
+    "measure",
+    "simmpi",
+    "simnet",
+    "__version__",
+    "AlltoallPredictor",
+    "AlltoallSample",
+    "ContentionSignature",
+    "HockneyParams",
+    "MED",
+    "alltoall_lower_bound",
+    "fit_signature",
+    "fast_ethernet",
+    "get_cluster",
+    "gigabit_ethernet",
+    "myrinet",
+    "characterize_cluster",
+]

@@ -1,0 +1,13 @@
+"""Analysis utilities: ASCII figures, CSV IO."""
+
+from .ascii_plot import line_plot, scatter_plot, surface_table
+from .io import read_csv, rows_from_series, write_csv
+
+__all__ = [
+    "line_plot",
+    "scatter_plot",
+    "surface_table",
+    "read_csv",
+    "rows_from_series",
+    "write_csv",
+]

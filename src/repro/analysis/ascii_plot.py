@@ -1,0 +1,154 @@
+"""ASCII rendering of the paper's figures (no matplotlib offline).
+
+Three renderers cover every figure shape in the evaluation:
+
+* :func:`line_plot`    — multi-series x/y curves (Figs. 2, 4, 6, 8, 9, 11, 12, 14)
+* :func:`scatter_plot` — point clouds (Fig. 3)
+* :func:`surface_table`— (n, m) grids rendered as a table (Figs. 5, 7, 10, 13)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["line_plot", "scatter_plot", "surface_table"]
+
+_MARKERS = "*+ox#@%&"
+
+
+def _bounds(values, lo=None, hi=None) -> tuple[float, float]:
+    arr = np.asarray(values, dtype=np.float64)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        return 0.0, 1.0
+    vmin = float(arr.min()) if lo is None else lo
+    vmax = float(arr.max()) if hi is None else hi
+    if math.isclose(vmin, vmax):
+        pad = abs(vmin) * 0.1 or 1.0
+        return vmin - pad, vmax + pad
+    return vmin, vmax
+
+
+def _render(
+    series_points: Mapping[str, tuple[np.ndarray, np.ndarray]],
+    *,
+    title: str,
+    xlabel: str,
+    ylabel: str,
+    width: int,
+    height: int,
+) -> str:
+    all_x = np.concatenate([np.asarray(x, float) for x, _ in series_points.values()])
+    all_y = np.concatenate([np.asarray(y, float) for _, y in series_points.values()])
+    xmin, xmax = _bounds(all_x)
+    ymin, ymax = _bounds(all_y)
+    ymin = min(ymin, 0.0) if ymin > 0 else ymin
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, (xs, ys)) in enumerate(series_points.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(np.asarray(xs, float), np.asarray(ys, float)):
+            if not (np.isfinite(x) and np.isfinite(y)):
+                continue
+            col = int(round((x - xmin) / (xmax - xmin) * (width - 1)))
+            row = int(round((y - ymin) / (ymax - ymin) * (height - 1)))
+            row = height - 1 - row
+            if 0 <= row < height and 0 <= col < width:
+                grid[row][col] = marker
+
+    lines = [title.center(width + 12)]
+    for row_idx, row in enumerate(grid):
+        y_val = ymax - (ymax - ymin) * row_idx / (height - 1)
+        lines.append(f"{y_val:>10.3g} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(
+        " " * 11
+        + f"{xmin:<12.4g}{' ' * max(width - 24, 1)}{xmax:>12.4g}"
+    )
+    lines.append(f"{'x: ' + xlabel:>{width // 2}}   y: {ylabel}")
+    legend = "  ".join(
+        f"[{_MARKERS[i % len(_MARKERS)]}] {name}"
+        for i, name in enumerate(series_points)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def line_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    title: str = "",
+    xlabel: str = "x",
+    ylabel: str = "y",
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """Render named (x, y) series as an ASCII chart."""
+    if not series:
+        raise ValueError("need at least one series")
+    points = {
+        name: (np.asarray(x, float), np.asarray(y, float))
+        for name, (x, y) in series.items()
+    }
+    return _render(
+        points, title=title, xlabel=xlabel, ylabel=ylabel,
+        width=width, height=height,
+    )
+
+
+def scatter_plot(
+    xs,
+    ys,
+    *,
+    overlay: Mapping[str, tuple[Sequence[float], Sequence[float]]] | None = None,
+    title: str = "",
+    xlabel: str = "x",
+    ylabel: str = "y",
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """Point cloud with optional overlay series (Fig. 3 style)."""
+    series: dict[str, tuple[np.ndarray, np.ndarray]] = {
+        "samples": (np.asarray(xs, float), np.asarray(ys, float))
+    }
+    for name, (ox, oy) in (overlay or {}).items():
+        series[name] = (np.asarray(ox, float), np.asarray(oy, float))
+    return _render(
+        series, title=title, xlabel=xlabel, ylabel=ylabel,
+        width=width, height=height,
+    )
+
+
+def surface_table(
+    n_values,
+    m_values,
+    grid,
+    *,
+    title: str = "",
+    value_format: str = "{:.4f}",
+    col_label: str = "m (bytes)",
+    row_label: str = "n",
+) -> str:
+    """Render a (n, m) surface as a labelled table (3-D figure stand-in)."""
+    grid = np.asarray(grid, dtype=np.float64)
+    n_values = list(n_values)
+    m_values = list(m_values)
+    if grid.shape != (len(n_values), len(m_values)):
+        raise ValueError(
+            f"grid shape {grid.shape} does not match "
+            f"({len(n_values)}, {len(m_values)})"
+        )
+    header_cells = [f"{row_label}\\{col_label}"] + [str(m) for m in m_values]
+    rows = [header_cells]
+    for i, n in enumerate(n_values):
+        rows.append([str(n)] + [value_format.format(v) for v in grid[i]])
+    widths = [max(len(r[c]) for r in rows) for c in range(len(header_cells))]
+    lines = [title] if title else []
+    for r_idx, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if r_idx == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""CSV persistence for experiment results (figure data files)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["write_csv", "read_csv", "rows_from_series"]
+
+
+def write_csv(
+    path: str | Path,
+    fieldnames: Sequence[str],
+    rows: Iterable[Mapping[str, object]],
+) -> Path:
+    """Write dict rows to *path* (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(fieldnames))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def read_csv(path: str | Path) -> list[dict[str, str]]:
+    """Read dict rows back (values as strings)."""
+    with Path(path).open(newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+def rows_from_series(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    x_name: str = "x",
+) -> tuple[list[str], list[dict[str, object]]]:
+    """Pivot named (x, y) series into joined rows keyed on x."""
+    all_x: list[float] = sorted(
+        {float(x) for xs, _ in series.values() for x in xs}
+    )
+    fieldnames = [x_name] + list(series)
+    lookup = {
+        name: {float(x): float(y) for x, y in zip(xs, ys)}
+        for name, (xs, ys) in series.items()
+    }
+    rows = []
+    for x in all_x:
+        row: dict[str, object] = {x_name: x}
+        for name in series:
+            value = lookup[name].get(x)
+            row[name] = "" if value is None else value
+        rows.append(row)
+    return fieldnames, rows

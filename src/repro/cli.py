@@ -1,0 +1,147 @@
+"""Command-line interface.
+
+Examples
+--------
+List experiments::
+
+    python -m repro.cli list
+
+Run one figure at smoke scale and save its CSV::
+
+    python -m repro.cli run fig06 --scale smoke --csv out/fig06.csv
+
+Characterise a cluster (fit its contention signature)::
+
+    python -m repro.cli characterize gigabit-ethernet --nprocs 16
+
+Predict an All-to-All time from paper-reported signatures::
+
+    python -m repro.cli predict gigabit-ethernet 40 1048576
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .clusters.profiles import CLUSTERS, get_cluster
+from .core.hockney import HockneyParams
+from .core.signature import ContentionSignature
+from .experiments.registry import EXPERIMENTS, run_experiment
+from .measure.pipeline import characterize_cluster
+from .units import format_time, parse_size
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(e) for e in EXPERIMENTS)
+    for exp_id, spec in EXPERIMENTS.items():
+        print(f"{exp_id:<{width}}  {spec.paper_ref:<14} {spec.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
+    print(result.render())
+    if args.csv:
+        result.save_csv(args.csv)
+        print(f"\nsaved: {args.csv}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    cluster = get_cluster(args.cluster)
+    ch = characterize_cluster(
+        cluster,
+        sample_nprocs=args.nprocs,
+        reps=args.reps,
+        seed=args.seed,
+    )
+    hockney = ch.hockney_fit.params
+    sig = ch.signature
+    print(f"cluster     : {cluster.name}")
+    print(f"description : {cluster.description}")
+    print(f"hockney     : {hockney}")
+    print(f"signature   : {sig}")
+    if cluster.paper:
+        print(
+            f"paper       : gamma={cluster.paper.gamma} "
+            f"delta={cluster.paper.delta * 1e3:.2f} ms "
+            f"M={cluster.paper.threshold} B"
+        )
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    cluster = get_cluster(args.cluster)
+    if cluster.paper is None:
+        print("no paper signature recorded for this cluster", file=sys.stderr)
+        return 1
+    # A reference Hockney pair per network class (paper-scale constants).
+    alpha = cluster.transport.base_latency
+    topology = cluster.topology(2)
+    beta = 1.0 / topology.links[topology.hosts[0].tx_link].capacity
+    signature = ContentionSignature(
+        gamma=cluster.paper.gamma,
+        delta=cluster.paper.delta,
+        threshold=cluster.paper.threshold,
+        hockney=HockneyParams(alpha=alpha, beta=beta),
+    )
+    size = parse_size(args.msg_size)
+    time = signature.predict(args.nprocs, size)
+    bound = signature.lower_bound(args.nprocs, size)
+    print(f"predicted MPI_Alltoall({args.nprocs} procs, {size} B):")
+    print(f"  prediction : {format_time(float(time))}")
+    print(f"  lower bound: {format_time(float(bound))}")
+    print(f"  signature  : {signature}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-alltoall",
+        description="All-to-All contention modeling (CLUSTER 2006 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list reproducible experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    p_run.add_argument("--scale", default="default",
+                       choices=["smoke", "default", "full"])
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--csv", default=None, help="save data rows to CSV")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_char = sub.add_parser(
+        "characterize", help="fit a cluster's contention signature"
+    )
+    p_char.add_argument("cluster", choices=sorted(CLUSTERS))
+    p_char.add_argument("--nprocs", type=int, default=16)
+    p_char.add_argument("--reps", type=int, default=2)
+    p_char.add_argument("--seed", type=int, default=0)
+    p_char.set_defaults(func=_cmd_characterize)
+
+    p_pred = sub.add_parser(
+        "predict", help="predict an All-to-All time from paper signatures"
+    )
+    p_pred.add_argument("cluster", choices=sorted(CLUSTERS))
+    p_pred.add_argument("nprocs", type=int)
+    p_pred.add_argument("msg_size", help="bytes or size string like 256kB")
+    p_pred.set_defaults(func=_cmd_predict)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

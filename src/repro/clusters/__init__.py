@@ -1,0 +1,21 @@
+"""Calibrated virtual-cluster profiles standing in for Grid'5000."""
+
+from .profiles import (
+    CLUSTERS,
+    ClusterProfile,
+    PaperSignature,
+    fast_ethernet,
+    get_cluster,
+    gigabit_ethernet,
+    myrinet,
+)
+
+__all__ = [
+    "CLUSTERS",
+    "ClusterProfile",
+    "PaperSignature",
+    "fast_ethernet",
+    "get_cluster",
+    "gigabit_ethernet",
+    "myrinet",
+]

@@ -1,0 +1,60 @@
+"""The paper's models: Hockney, MED bounds, two-β, contention signature."""
+
+from .bounds import (
+    alltoall_lower_bound,
+    bandwidth_lower_bound,
+    combined_lower_bound,
+    min_startups,
+    naive_model,
+)
+from .errors import (
+    mae,
+    mean_absolute_percentage_error,
+    relative_error_percent,
+    rmse,
+)
+from .hockney import HockneyFit, HockneyParams, fit_hockney
+from .med import MED
+from .predictor import AlltoallPredictor
+from .regression import LinearFit, feasible_gls, fit_linear, gls, ols, wls
+from .saturation import SaturatedSignature, SaturationRamp, fit_knee
+from .signature import (
+    AlltoallSample,
+    ContentionSignature,
+    SignatureFit,
+    fit_signature,
+)
+from .throughput import TwoBetaModel, extract_two_beta, two_beta_from_states
+
+__all__ = [
+    "alltoall_lower_bound",
+    "bandwidth_lower_bound",
+    "combined_lower_bound",
+    "min_startups",
+    "naive_model",
+    "mae",
+    "mean_absolute_percentage_error",
+    "relative_error_percent",
+    "rmse",
+    "HockneyFit",
+    "HockneyParams",
+    "fit_hockney",
+    "MED",
+    "AlltoallPredictor",
+    "LinearFit",
+    "feasible_gls",
+    "fit_linear",
+    "gls",
+    "ols",
+    "wls",
+    "AlltoallSample",
+    "ContentionSignature",
+    "SignatureFit",
+    "fit_signature",
+    "SaturatedSignature",
+    "SaturationRamp",
+    "fit_knee",
+    "TwoBetaModel",
+    "extract_two_beta",
+    "two_beta_from_states",
+]

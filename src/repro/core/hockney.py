@@ -1,0 +1,95 @@
+"""Hockney point-to-point transmission model (paper §4).
+
+``T(m) = α + m·β`` where α is the start-up time (latency between the
+processes) and 1/β the link bandwidth.  The paper obtains α and β "from
+a simple point-to-point measure"; :func:`fit_hockney` performs exactly
+that fit from (size, time) samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import FittingError
+from .regression import LinearFit, fit_linear
+
+__all__ = ["HockneyParams", "HockneyFit", "fit_hockney"]
+
+
+@dataclass(frozen=True)
+class HockneyParams:
+    """Hockney α (s) and β (s/byte)."""
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {self.alpha}")
+        if self.beta <= 0:
+            raise ValueError(f"beta must be > 0, got {self.beta}")
+
+    def p2p_time(self, nbytes) -> np.ndarray | float:
+        """Point-to-point transmission time α + m·β (vectorised over m)."""
+        m = np.asarray(nbytes, dtype=np.float64)
+        result = self.alpha + m * self.beta
+        return float(result) if np.isscalar(nbytes) else result
+
+    @property
+    def bandwidth(self) -> float:
+        """Asymptotic link bandwidth in bytes/second (1/β)."""
+        return 1.0 / self.beta
+
+    def __str__(self) -> str:
+        return (
+            f"Hockney(alpha={self.alpha * 1e6:.2f} us, "
+            f"beta={self.beta:.4g} s/B, bw={self.bandwidth / 1e6:.1f} MB/s)"
+        )
+
+
+@dataclass(frozen=True)
+class HockneyFit:
+    """Fitted Hockney parameters plus regression diagnostics."""
+
+    params: HockneyParams
+    fit: LinearFit
+    sizes: np.ndarray
+    times: np.ndarray
+
+
+def fit_hockney(
+    sizes,
+    times,
+    *,
+    method: str = "ols",
+    variances=None,
+) -> HockneyFit:
+    """Fit α, β from point-to-point (message size, one-way time) samples.
+
+    A negative fitted intercept (possible when small-message times are
+    dominated by per-segment effects) is clamped to zero — a Hockney
+    start-up cannot be negative.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    times = np.asarray(times, dtype=np.float64)
+    if sizes.size != times.size:
+        raise FittingError("sizes and times must have equal length")
+    if sizes.size < 2:
+        raise FittingError("need at least two samples to fit alpha and beta")
+    X = np.column_stack([np.ones_like(sizes), sizes])
+    fit = fit_linear(X, times, method=method, variances=variances)
+    alpha = max(float(fit.params[0]), 0.0)
+    beta = float(fit.params[1])
+    if beta <= 0:
+        raise FittingError(
+            f"non-positive fitted beta ({beta:.3g}); measurement data "
+            "does not look like a transmission curve"
+        )
+    return HockneyFit(
+        params=HockneyParams(alpha=alpha, beta=beta),
+        fit=fit,
+        sizes=sizes,
+        times=times,
+    )

@@ -1,0 +1,66 @@
+"""High-level prediction façade.
+
+Combines the Hockney parameters and the fitted contention signature into
+the object downstream users want: "give me T(n, m) for my network".
+Construction from live measurements is in
+:func:`repro.measure.pipeline.characterize_cluster`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bounds import alltoall_lower_bound
+from .errors import relative_error_percent
+from .hockney import HockneyParams
+from .signature import AlltoallSample, ContentionSignature
+
+__all__ = ["AlltoallPredictor"]
+
+
+@dataclass(frozen=True)
+class AlltoallPredictor:
+    """Predicts All-to-All completion times for one characterised network.
+
+    Examples
+    --------
+    >>> from repro.core import HockneyParams, ContentionSignature
+    >>> h = HockneyParams(alpha=50e-6, beta=8.5e-9)
+    >>> sig = ContentionSignature(gamma=4.36, delta=4.9e-3, threshold=8192,
+    ...                           hockney=h)
+    >>> p = AlltoallPredictor(signature=sig)
+    >>> t = p.predict(40, 1_048_576)
+    >>> t > p.lower_bound(40, 1_048_576)
+    True
+    """
+
+    signature: ContentionSignature
+
+    @property
+    def hockney(self) -> HockneyParams:
+        """The underlying point-to-point parameters."""
+        return self.signature.hockney
+
+    def predict(self, n_processes, msg_size):
+        """Predicted completion time (vectorised)."""
+        return self.signature.predict(n_processes, msg_size)
+
+    def lower_bound(self, n_processes, msg_size):
+        """Proposition-1 contention-free bound."""
+        return alltoall_lower_bound(n_processes, msg_size, self.hockney)
+
+    def predict_grid(self, n_values, m_values) -> np.ndarray:
+        """Prediction surface: rows over n, columns over m (figures 7/10/13)."""
+        n = np.asarray(n_values, dtype=np.float64)[:, None]
+        m = np.asarray(m_values, dtype=np.float64)[None, :]
+        return self.signature.predict(n, m)
+
+    def error_against(self, samples) -> list[tuple[AlltoallSample, float]]:
+        """Per-sample relative error (%) of the prediction."""
+        out = []
+        for sample in samples:
+            estimated = self.predict(sample.n_processes, sample.msg_size)
+            out.append((sample, relative_error_percent(sample.mean_time, estimated)))
+        return out

@@ -1,0 +1,179 @@
+"""Linear regression: OLS, WLS and (feasible) Generalized Least Squares.
+
+The paper obtains γ and δ "through a linear regression with the
+Generalized Least Squares method, comparing at least four measurement
+points" (§8).  Timing measurements are heteroscedastic — the variance of
+a mean-of-100-runs grows with the magnitude of the time being measured —
+which is exactly the situation GLS addresses: estimate
+
+    b = (Xᵀ Ω⁻¹ X)⁻¹ Xᵀ Ω⁻¹ y
+
+with Ω the (diagonal) covariance of the observations.  When per-sample
+variances are available (repetition spread) we use them directly; when
+they are not, :func:`feasible_gls` iterates WLS with variances modelled
+as proportional to the squared fitted values (multiplicative noise),
+which is the standard FGLS fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import FittingError
+
+__all__ = ["LinearFit", "ols", "wls", "gls", "feasible_gls", "fit_linear"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of a linear fit ``y ~ X b``.
+
+    Attributes
+    ----------
+    params:
+        Estimated coefficients, one per column of X.
+    stderr:
+        Standard errors of the coefficients.
+    residuals:
+        ``y - X b``.
+    rss:
+        Residual sum of squares (unweighted).
+    r_squared:
+        Coefficient of determination on the unweighted data.
+    method:
+        ``"ols"`` / ``"wls"`` / ``"gls"`` / ``"fgls"``.
+    """
+
+    params: np.ndarray
+    stderr: np.ndarray
+    residuals: np.ndarray
+    rss: float
+    r_squared: float
+    method: str
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted linear model on new rows."""
+        return np.asarray(X, dtype=np.float64) @ self.params
+
+
+def _validate(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if X.shape[0] != y.shape[0]:
+        raise FittingError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+    if X.shape[0] < X.shape[1]:
+        raise FittingError(
+            f"need at least {X.shape[1]} samples for {X.shape[1]} "
+            f"coefficients, got {X.shape[0]}"
+        )
+    if not np.all(np.isfinite(X)) or not np.all(np.isfinite(y)):
+        raise FittingError("non-finite values in regression inputs")
+    return X, y
+
+
+def _solve_weighted(
+    X: np.ndarray, y: np.ndarray, inv_var: np.ndarray, method: str
+) -> LinearFit:
+    # Whiten and solve by least squares (numerically safer than normal
+    # equations for ill-conditioned designs).
+    w_sqrt = np.sqrt(inv_var)
+    Xw = X * w_sqrt[:, None]
+    yw = y * w_sqrt
+    params, _, rank, _ = np.linalg.lstsq(Xw, yw, rcond=None)
+    if rank < X.shape[1]:
+        raise FittingError(
+            "design matrix is rank deficient; samples do not identify "
+            "all coefficients (vary n and m across samples)"
+        )
+    residuals = y - X @ params
+    rss = float(residuals @ residuals)
+    dof = max(X.shape[0] - X.shape[1], 1)
+    # Covariance of the estimator under the assumed Ω.
+    xtwx = Xw.T @ Xw
+    try:
+        cov = np.linalg.inv(xtwx)
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - defensive
+        raise FittingError("singular normal matrix") from exc
+    sigma2 = float((residuals * inv_var * residuals).sum()) / dof
+    stderr = np.sqrt(np.clip(np.diag(cov) * sigma2, 0.0, None))
+    tss = float(((y - y.mean()) ** 2).sum())
+    r_squared = 1.0 - rss / tss if tss > 0 else 1.0
+    return LinearFit(
+        params=params,
+        stderr=stderr,
+        residuals=residuals,
+        rss=rss,
+        r_squared=r_squared,
+        method=method,
+    )
+
+
+def ols(X: np.ndarray, y: np.ndarray) -> LinearFit:
+    """Ordinary least squares."""
+    X, y = _validate(X, y)
+    return _solve_weighted(X, y, np.ones(len(y)), "ols")
+
+
+def wls(X: np.ndarray, y: np.ndarray, variances: np.ndarray) -> LinearFit:
+    """Weighted least squares with known per-sample variances."""
+    X, y = _validate(X, y)
+    var = np.asarray(variances, dtype=np.float64).ravel()
+    if var.shape != y.shape:
+        raise FittingError("variances must match y in length")
+    if np.any(var < 0):
+        raise FittingError("variances must be non-negative")
+    # Zero variances (deterministic samples) get the smallest positive
+    # variance present, keeping weights finite.
+    positive = var[var > 0]
+    floor = float(positive.min()) if positive.size else 1.0
+    var = np.where(var > 0, var, floor)
+    return _solve_weighted(X, y, 1.0 / var, "wls")
+
+
+def gls(X: np.ndarray, y: np.ndarray, variances: np.ndarray) -> LinearFit:
+    """GLS with diagonal covariance (alias of :func:`wls`, named per paper)."""
+    fit = wls(X, y, variances)
+    return LinearFit(
+        params=fit.params,
+        stderr=fit.stderr,
+        residuals=fit.residuals,
+        rss=fit.rss,
+        r_squared=fit.r_squared,
+        method="gls",
+    )
+
+
+def feasible_gls(
+    X: np.ndarray, y: np.ndarray, *, iterations: int = 3
+) -> LinearFit:
+    """Feasible GLS: variance modelled as proportional to fitted²."""
+    X, y = _validate(X, y)
+    fit = _solve_weighted(X, y, np.ones(len(y)), "ols")
+    for _ in range(max(iterations, 1)):
+        fitted = X @ fit.params
+        scale = np.abs(fitted)
+        floor = max(float(np.max(scale)) * 1e-6, 1e-30)
+        var = np.maximum(scale, floor) ** 2
+        fit = _solve_weighted(X, y, 1.0 / var, "fgls")
+    return fit
+
+
+def fit_linear(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    method: str = "gls",
+    variances: np.ndarray | None = None,
+) -> LinearFit:
+    """Dispatch on *method*; GLS falls back to FGLS without variances."""
+    if method == "ols":
+        return ols(X, y)
+    if method in ("wls", "gls"):
+        if variances is None:
+            return feasible_gls(X, y)
+        return gls(X, y, variances) if method == "gls" else wls(X, y, variances)
+    if method == "fgls":
+        return feasible_gls(X, y)
+    raise FittingError(f"unknown regression method {method!r}")

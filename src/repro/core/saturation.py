@@ -1,0 +1,135 @@
+"""Saturation-aware signature — the paper's stated future work.
+
+§9 announces "an intermediate performance model for half-saturate
+networks": the plain signature over-predicts small process counts by up
+to (1/γ − 1) ≈ −77 % because γ was fitted on a saturated network while
+an unsaturated one behaves contention-free (figures 8/11/14).
+
+This module implements that extension.  The effective contention ratio
+interpolates between 1 (empty network) and γ (saturated) through a
+smooth ramp in the process count:
+
+    γ_eff(n) = 1 + (γ - 1) · s(n)
+    s(n)     = clip((n - n_free) / (n_sat - n_free), 0, 1) ** p
+
+with ``n_sat`` the saturation knee (for a fabric with aggregate capacity
+C and per-NIC rate r, ``n_sat ≈ C / r`` — e.g. GdX's 1.2 GB/s backplane
+over 117 MB/s NICs gives n_sat ≈ 10, matching the crossover visible in
+Fig. 11), and δ applied unchanged (host demultiplexing does not depend
+on fabric saturation).  ``p`` shapes the ramp (1 = linear).
+
+Fit ``n_sat`` from error-curve data with :func:`fit_knee`, or set it
+from the fabric's nominal capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import FittingError
+from .signature import ContentionSignature
+
+__all__ = ["SaturationRamp", "SaturatedSignature", "fit_knee"]
+
+
+@dataclass(frozen=True)
+class SaturationRamp:
+    """Smooth 0→1 ramp in the process count.
+
+    Attributes
+    ----------
+    n_free:
+        Largest n that behaves contention-free (ramp = 0 at or below).
+    n_sat:
+        Smallest n that is fully saturated (ramp = 1 at or above).
+    power:
+        Ramp shape exponent (1 = linear interpolation).
+    """
+
+    n_free: float = 2.0
+    n_sat: float = 16.0
+    power: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_sat <= self.n_free:
+            raise ValueError("need n_sat > n_free")
+        if self.power <= 0:
+            raise ValueError("power must be positive")
+
+    def __call__(self, n_processes) -> np.ndarray:
+        n = np.asarray(n_processes, dtype=np.float64)
+        raw = (n - self.n_free) / (self.n_sat - self.n_free)
+        return np.clip(raw, 0.0, 1.0) ** self.power
+
+
+@dataclass(frozen=True)
+class SaturatedSignature:
+    """A contention signature with a saturation-aware γ ramp."""
+
+    base: ContentionSignature
+    ramp: SaturationRamp
+
+    def gamma_effective(self, n_processes) -> np.ndarray:
+        """γ_eff(n) = 1 + (γ - 1) · ramp(n)."""
+        return 1.0 + (self.base.gamma - 1.0) * self.ramp(n_processes)
+
+    def predict(self, n_processes, msg_size):
+        """Prediction with saturation-dependent contention ratio."""
+        n = np.asarray(n_processes, dtype=np.float64)
+        m = np.asarray(msg_size, dtype=np.float64)
+        gamma_eff = self.gamma_effective(n)
+        bound = self.base.lower_bound(n, m)
+        result = bound * gamma_eff
+        above = (m >= self.base.threshold).astype(np.float64)
+        if self.base.delta_mode == "per_round":
+            result = result + above * self.base.delta * (n - 1.0)
+        else:
+            result = result + above * self.base.delta
+        if np.isscalar(n_processes) and np.isscalar(msg_size):
+            return float(result)
+        return result
+
+
+def fit_knee(
+    n_values,
+    errors_percent,
+    base: ContentionSignature,
+    *,
+    power: float = 1.0,
+) -> SaturatedSignature:
+    """Fit the saturation knee from an error-vs-n curve (Figs. 8/11/14).
+
+    The plain signature's relative error at small n approximates
+    ``(1/γ_eff - 1/γ) ... `` — rather than inverting analytically we
+    scan candidate knees and keep the one minimising the squared error
+    between the observed errors and the errors the ramped model implies.
+
+    Parameters
+    ----------
+    n_values / errors_percent:
+        The measured error curve of the *plain* signature,
+        ``(measured/estimated - 1)·100``.
+    base:
+        The fitted saturated-network signature.
+    """
+    n_values = np.asarray(n_values, dtype=np.float64)
+    errors = np.asarray(errors_percent, dtype=np.float64)
+    if n_values.size != errors.size or n_values.size < 3:
+        raise FittingError("need >= 3 (n, error) points to locate the knee")
+    # Implied measured/estimated ratio from the plain model's errors.
+    ratio = errors / 100.0 + 1.0
+    best: tuple[float, SaturatedSignature] | None = None
+    n_lo = float(n_values.min())
+    n_hi = float(n_values.max())
+    for knee in np.linspace(n_lo + 1.0, n_hi, num=32):
+        ramp = SaturationRamp(n_free=min(2.0, n_lo), n_sat=float(knee), power=power)
+        model = SaturatedSignature(base=base, ramp=ramp)
+        # Ratio the ramped model implies against the plain prediction:
+        implied = model.gamma_effective(n_values) / base.gamma
+        sse = float(((implied - ratio) ** 2).sum())
+        if best is None or sse < best[0]:
+            best = (sse, model)
+    assert best is not None
+    return best[1]

@@ -1,0 +1,133 @@
+"""Throughput-under-contention model (paper §6, the preliminary approach).
+
+Two gap-per-byte states are measured from a network stress test
+(Fig. 3 methodology): a contention-free β_F and a contended β_C.
+Assuming "at most one of each two connections will be delayed due to
+contention", they blend with proportion ρ = 0.5 (eq. 3):
+
+    β = (1 - ρ)·β_F + ρ·β_C
+
+and the synthetic β replaces the Hockney β in Proposition 1 (the
+prediction of Fig. 4).  The §7 signature model supersedes this — the
+drawbacks the paper lists (expensive saturation measurements, poor
+small-message accuracy) are visible in our reproduction too — but it is
+kept complete as the paper's stepping stone and as an ablation baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import FittingError
+from .hockney import HockneyParams
+
+__all__ = ["TwoBetaModel", "extract_two_beta", "two_beta_from_states"]
+
+
+@dataclass(frozen=True)
+class TwoBetaModel:
+    """Synthetic-β performance model (paper eqs. 2/3 + Proposition 1)."""
+
+    alpha: float
+    beta_free: float
+    beta_contended: float
+    rho: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rho <= 1.0:
+            raise ValueError("rho must be within [0, 1]")
+        if self.beta_free <= 0 or self.beta_contended <= 0:
+            raise ValueError("betas must be positive")
+
+    @property
+    def beta_synthetic(self) -> float:
+        """The blended gap per byte (eq. 3)."""
+        return (1.0 - self.rho) * self.beta_free + self.rho * self.beta_contended
+
+    def predict(self, n_processes, msg_size):
+        """All-to-All prediction ``(n-1)(α + m·β_synth)`` (vectorised)."""
+        n = np.asarray(n_processes, dtype=np.float64)
+        m = np.asarray(msg_size, dtype=np.float64)
+        result = (n - 1.0) * (self.alpha + m * self.beta_synthetic)
+        if np.isscalar(n_processes) and np.isscalar(msg_size):
+            return float(result)
+        return result
+
+    def as_hockney(self) -> HockneyParams:
+        """The synthetic parameters viewed as a Hockney pair."""
+        return HockneyParams(alpha=self.alpha, beta=self.beta_synthetic)
+
+
+def extract_two_beta(
+    transfer_bytes: float,
+    transfer_times,
+    *,
+    alpha: float,
+    rho: float = 0.5,
+    fast_quantile: float = 0.10,
+    slow_quantile: float = 0.95,
+) -> TwoBetaModel:
+    """Derive β_F / β_C from a saturating stress run (Fig. 3 data).
+
+    Per-connection gap/byte is ``time / bytes``.  β_F is the mean gap of
+    the fastest *fast_quantile* fraction (connections that escaped
+    contention — the paper's 8.502e-9 s/B) and β_C the mean of gaps at or
+    above the *slow_quantile* (connections hit by repeated retransmission
+    timeouts — the paper's 8.498e-8 s/B).
+    """
+    times = np.asarray(list(transfer_times), dtype=np.float64)
+    if times.size < 4:
+        raise FittingError("need at least 4 stress transfer times")
+    if transfer_bytes <= 0:
+        raise FittingError("transfer_bytes must be positive")
+    gaps = times / float(transfer_bytes)
+    lo = np.quantile(gaps, fast_quantile)
+    hi = np.quantile(gaps, slow_quantile)
+    fast = gaps[gaps <= lo]
+    slow = gaps[gaps >= hi]
+    if fast.size == 0 or slow.size == 0:  # pragma: no cover - quantiles cover
+        raise FittingError("could not split stress gaps into states")
+    return TwoBetaModel(
+        alpha=alpha,
+        beta_free=float(fast.mean()),
+        beta_contended=float(slow.mean()),
+        rho=rho,
+    )
+
+
+def two_beta_from_states(
+    transfer_bytes: float,
+    free_times,
+    contended_times,
+    *,
+    alpha: float,
+    rho: float = 0.5,
+    slow_quantile: float = 0.90,
+) -> TwoBetaModel:
+    """Derive β_F / β_C from *separate* unloaded and saturated runs.
+
+    β_F is the mean gap of the contention-free transfers (e.g. a
+    single-connection run — the paper's 8.502e-9 s/B corresponds to an
+    uncontended GigE stream) and β_C the mean gap of the slowest
+    *slow_quantile* tail of the saturated run (the retransmission
+    victims).  More robust than a single-pool quantile split when the
+    two regimes contribute unequal sample counts.
+    """
+    free = np.asarray(list(free_times), dtype=np.float64)
+    contended = np.asarray(list(contended_times), dtype=np.float64)
+    if free.size == 0 or contended.size == 0:
+        raise FittingError("need samples from both regimes")
+    if transfer_bytes <= 0:
+        raise FittingError("transfer_bytes must be positive")
+    gaps_free = free / float(transfer_bytes)
+    gaps_cont = contended / float(transfer_bytes)
+    hi = np.quantile(gaps_cont, slow_quantile)
+    slow = gaps_cont[gaps_cont >= hi]
+    return TwoBetaModel(
+        alpha=alpha,
+        beta_free=float(gaps_free.mean()),
+        beta_contended=float(slow.mean()),
+        rho=rho,
+    )

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "DeadlockError",
+    "RoutingError",
+    "FittingError",
+    "MeasurementError",
+    "BackendUnavailableError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """All rank processes are blocked and no event can make progress."""
+
+
+class RoutingError(SimulationError):
+    """No route exists between two hosts in the topology."""
+
+
+class FittingError(ReproError):
+    """A model fit could not be performed (e.g. too few samples)."""
+
+
+class MeasurementError(ReproError):
+    """A measurement harness was misconfigured or produced no data."""
+
+
+class BackendUnavailableError(MeasurementError):
+    """The requested measurement backend (e.g. mpi4py) is not importable."""

@@ -1,0 +1,16 @@
+"""Per-figure/table experiment drivers (the reproduction index).
+
+See DESIGN.md §4 for the experiment ↔ paper mapping.
+"""
+
+from .common import SCALES, ExperimentResult, Scale
+from .registry import EXPERIMENTS, ExperimentSpec, run_experiment
+
+__all__ = [
+    "SCALES",
+    "ExperimentResult",
+    "Scale",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "run_experiment",
+]

@@ -1,0 +1,74 @@
+"""Fig. 2 — average per-connection bandwidth vs simultaneous connections.
+
+"We evaluate the average bandwidth through the opening of several
+point-to-point connections in a Gigabit Ethernet network ... during the
+transmission of large data files (32 MB), gradually increasing the
+number of simultaneous point-to-point connections to saturate the
+network" (§3).  Expected shape: ~full NIC bandwidth for few connections,
+hyperbolic decay once the fabric saturates (paper: ~110 MB/s down to
+~20 MB/s at 60 connections).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..clusters.profiles import gigabit_ethernet
+from ..measure.stress import stress_sweep
+from .common import ExperimentResult, resolve_scale
+
+__all__ = ["run", "connection_counts", "TRANSFER_BYTES"]
+
+TRANSFER_BYTES = 32 * 1024 * 1024  # the paper's 32 MB files
+
+
+def connection_counts(scale_name: str) -> list[int]:
+    """Connection-count ladder per scale."""
+    if scale_name == "smoke":
+        return [1, 4, 8]
+    if scale_name == "full":
+        return list(range(1, 61, 2))
+    return [1, 5, 10, 15, 20, 30, 40, 50, 60]
+
+
+def run(scale="default", *, seed: int = 0) -> ExperimentResult:
+    """Run the stress sweep and return the Fig. 2 series."""
+    scale = resolve_scale(scale)
+    cluster = gigabit_ethernet()
+    transfer = TRANSFER_BYTES if scale.name != "smoke" else 4 * 1024 * 1024
+    sweep = stress_sweep(
+        cluster,
+        connection_counts(scale.name),
+        transfer,
+        reps=scale.reps,
+        seed=seed,
+    )
+    ks, mean_bw = sweep.mean_throughput_curve()
+    result = ExperimentResult(
+        exp_id="fig02",
+        title="Average bandwidth, Gigabit Ethernet stress",
+        paper_ref="Fig. 2",
+        kind="lines",
+        xlabel="connections",
+        ylabel="throughput (MB/s)",
+        series={"Average bandwidth": (ks, mean_bw / 1e6)},
+        params={
+            "cluster": cluster.name,
+            "transfer_bytes": transfer,
+            "scale": scale.name,
+            "seed": seed,
+        },
+    )
+    result.notes.append(
+        f"single-connection bandwidth {mean_bw[0] / 1e6:.1f} MB/s, "
+        f"at k={int(ks[-1])}: {mean_bw[-1] / 1e6:.1f} MB/s "
+        f"(paper: ~110 down to ~20 MB/s)"
+    )
+    if len(ks) > 2 and not np.all(np.diff(mean_bw) <= 1e-9):
+        decays = mean_bw[-1] < mean_bw[0]
+        result.notes.append(
+            "bandwidth decays with connection count"
+            if decays
+            else "WARNING: no bandwidth decay observed"
+        )
+    return result

@@ -1,0 +1,58 @@
+"""Fig. 3 — per-connection transmission times of a 32 MB message.
+
+Same stress methodology as Fig. 2, but plotting every individual
+connection's completion time: "most connections finish their
+transmission in a reasonable time ..., but some point-to-point
+connections require almost six times longer" — the TCP RTO heavy tail
+that motivates the whole contention analysis (§3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..clusters.profiles import gigabit_ethernet
+from ..measure.stress import stress_sweep
+from .common import ExperimentResult, resolve_scale
+from .fig02_bandwidth import TRANSFER_BYTES, connection_counts
+
+__all__ = ["run"]
+
+
+def run(scale="default", *, seed: int = 0) -> ExperimentResult:
+    """Run the stress sweep and return the Fig. 3 scatter + average."""
+    scale = resolve_scale(scale)
+    cluster = gigabit_ethernet()
+    transfer = TRANSFER_BYTES if scale.name != "smoke" else 4 * 1024 * 1024
+    sweep = stress_sweep(
+        cluster,
+        connection_counts(scale.name),
+        transfer,
+        reps=scale.reps,
+        seed=seed,
+    )
+    xs, ys = sweep.scatter_times()
+    avg_k, avg_t = sweep.average_time_curve()
+    saturated = sweep.saturated_times()
+    tail_ratio = float(np.max(saturated) / np.percentile(saturated, 10))
+    result = ExperimentResult(
+        exp_id="fig03",
+        title="Transmission time of individual connections, GigE stress",
+        paper_ref="Fig. 3",
+        kind="scatter",
+        xlabel="connections",
+        ylabel="transmission time (s)",
+        scatter_xy=(xs, ys),
+        series={"average": (avg_k, avg_t)},
+        params={
+            "cluster": cluster.name,
+            "transfer_bytes": transfer,
+            "scale": scale.name,
+            "seed": seed,
+        },
+    )
+    result.notes.append(
+        f"slowest/fast-decile ratio at k={int(avg_k[-1])}: {tail_ratio:.1f}x "
+        "(paper: some connections ~6x slower than the pack)"
+    )
+    return result

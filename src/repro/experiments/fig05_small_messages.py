@@ -1,0 +1,69 @@
+"""Fig. 5 — non-linearity of small-message All-to-All cost (GigE).
+
+A (nodes, message size) surface at 256-byte granularity up to 16 KB:
+"the communication time does not increase linearly with the message
+size" (§7.1) — the phenomenon that motivates the M threshold and the
+affine δ term.  Our substrate produces the staircase through MSS
+segmentation, eager-envelope overhead and the demux threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..clusters.profiles import gigabit_ethernet
+from ..measure.alltoall import measure_alltoall
+from .common import ExperimentResult, resolve_scale
+
+__all__ = ["run", "grid_for"]
+
+
+def grid_for(scale_name: str) -> tuple[list[int], list[int]]:
+    """(node counts, message sizes) for the surface, per scale."""
+    if scale_name == "smoke":
+        return [4, 8], [256, 2_048, 8_192]
+    if scale_name == "full":
+        return list(range(4, 17, 2)), list(range(256, 16_385, 256))
+    return [4, 8, 12, 16], list(range(1_024, 16_385, 3_072))
+
+
+def run(scale="default", *, seed: int = 0) -> ExperimentResult:
+    """Measure the small-message surface and quantify non-linearity."""
+    scale = resolve_scale(scale)
+    cluster = gigabit_ethernet()
+    n_values, m_values = grid_for(scale.name)
+    grid = np.zeros((len(n_values), len(m_values)))
+    for i, n in enumerate(n_values):
+        for j, m in enumerate(m_values):
+            sample = measure_alltoall(
+                cluster, n, m, reps=scale.reps, seed=seed
+            )
+            grid[i, j] = sample.mean_time
+
+    # Non-linearity metric: max deviation of the m-curve (at the largest
+    # n) from the straight line through its endpoints, as a fraction.
+    times = grid[-1]
+    m = np.asarray(m_values, dtype=np.float64)
+    straight = times[0] + (times[-1] - times[0]) * (m - m[0]) / (m[-1] - m[0])
+    with np.errstate(divide="ignore", invalid="ignore"):
+        deviation = float(np.nanmax(np.abs(times - straight) / straight))
+
+    result = ExperimentResult(
+        exp_id="fig05",
+        title="Small-message All-to-All completion time, GigE",
+        paper_ref="Fig. 5",
+        kind="surface",
+        surfaces={"Direct Exchange": grid},
+        n_values=np.asarray(n_values),
+        m_values=np.asarray(m_values),
+        params={
+            "cluster": cluster.name,
+            "scale": scale.name,
+            "seed": seed,
+        },
+    )
+    result.notes.append(
+        f"max relative deviation from a straight line (n={n_values[-1]}): "
+        f"{deviation * 100:.1f}% (paper: visibly non-linear below 16 KB)"
+    )
+    return result

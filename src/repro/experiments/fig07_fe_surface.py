@@ -1,0 +1,24 @@
+"""Fig. 7 — All-to-All prediction surface on Fast Ethernet.
+
+The signature fitted at n′ = 24 (Fig. 6) predicts the completion time
+for arbitrary (n, m); the surface compares measured Direct Exchange and
+the prediction over n up to 40 and m up to ~1.2 MB.
+"""
+
+from __future__ import annotations
+
+from ..clusters.profiles import fast_ethernet
+from .common import ExperimentResult, resolve_scale
+from .fig06_fe_fit import SAMPLE_NPROCS
+from .validation import surface_figure
+
+__all__ = ["run"]
+
+
+def run(scale="default", *, seed: int = 0) -> ExperimentResult:
+    """Build the Fast Ethernet prediction surface."""
+    scale = resolve_scale(scale)
+    return surface_figure(
+        "fig07", "Fig. 7", fast_ethernet(), SAMPLE_NPROCS, scale,
+        seed=seed, max_n=40,
+    )

@@ -1,0 +1,24 @@
+"""Fig. 8 — estimation error vs process count on Fast Ethernet.
+
+Relative error ``(measured/estimated - 1) * 100%`` for 128/256/512/1024
+KiB messages.  Paper: "usually smaller than 10% when there are enough
+processes to saturate the network".
+"""
+
+from __future__ import annotations
+
+from ..clusters.profiles import fast_ethernet
+from .common import ExperimentResult, resolve_scale
+from .fig06_fe_fit import SAMPLE_NPROCS
+from .validation import error_figure
+
+__all__ = ["run"]
+
+
+def run(scale="default", *, seed: int = 0) -> ExperimentResult:
+    """Build the Fast Ethernet error-vs-n figure."""
+    scale = resolve_scale(scale)
+    return error_figure(
+        "fig08", "Fig. 8", fast_ethernet(), SAMPLE_NPROCS, scale,
+        seed=seed, max_n=40,
+    )

@@ -1,0 +1,24 @@
+"""Fig. 9 — fitting the MPI_Alltoall performance on Gigabit Ethernet.
+
+40 machines; the gap between lower bound and measurement is much larger
+than on Fast Ethernet (retransmission delays in a high-rate fabric).
+Paper result: γ = 4.3628, δ = 4.93 ms above M = 8 kB.
+"""
+
+from __future__ import annotations
+
+from ..clusters.profiles import gigabit_ethernet
+from .common import ExperimentResult, resolve_scale
+from .validation import fit_figure
+
+__all__ = ["run", "SAMPLE_NPROCS"]
+
+SAMPLE_NPROCS = 40
+
+
+def run(scale="default", *, seed: int = 0) -> ExperimentResult:
+    """Build the Gigabit Ethernet fit figure."""
+    scale = resolve_scale(scale)
+    return fit_figure(
+        "fig09", "Fig. 9", gigabit_ethernet(), SAMPLE_NPROCS, scale, seed=seed
+    )

@@ -1,0 +1,23 @@
+"""Fig. 10 — All-to-All prediction surface on Gigabit Ethernet.
+
+The n′ = 40 signature predicts (n, m) combinations from 5 to 50
+processes; errors shrink once the fabric is saturated.
+"""
+
+from __future__ import annotations
+
+from ..clusters.profiles import gigabit_ethernet
+from .common import ExperimentResult, resolve_scale
+from .fig09_gige_fit import SAMPLE_NPROCS
+from .validation import surface_figure
+
+__all__ = ["run"]
+
+
+def run(scale="default", *, seed: int = 0) -> ExperimentResult:
+    """Build the Gigabit Ethernet prediction surface."""
+    scale = resolve_scale(scale)
+    return surface_figure(
+        "fig10", "Fig. 10", gigabit_ethernet(), SAMPLE_NPROCS, scale,
+        seed=seed, max_n=50,
+    )

@@ -1,0 +1,25 @@
+"""Fig. 11 — estimation error vs process count on Gigabit Ethernet.
+
+Large negative error for few processes (the signature over-predicts an
+unsaturated network by roughly 1/γ - 1 ≈ -77%), small error once
+saturated — the paper's "application domain of our model (saturated
+networks)".
+"""
+
+from __future__ import annotations
+
+from ..clusters.profiles import gigabit_ethernet
+from .common import ExperimentResult, resolve_scale
+from .fig09_gige_fit import SAMPLE_NPROCS
+from .validation import error_figure
+
+__all__ = ["run"]
+
+
+def run(scale="default", *, seed: int = 0) -> ExperimentResult:
+    """Build the Gigabit Ethernet error-vs-n figure."""
+    scale = resolve_scale(scale)
+    return error_figure(
+        "fig11", "Fig. 11", gigabit_ethernet(), SAMPLE_NPROCS, scale,
+        seed=seed, max_n=50,
+    )

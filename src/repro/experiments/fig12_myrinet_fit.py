@@ -1,0 +1,25 @@
+"""Fig. 12 — fitting the MPI_Alltoall performance on Myrinet.
+
+24 processes over the gm stack: "contention affects this network in a
+same way as in the previous experiments, even if the start-up cost for
+the Myrinet network is almost inexistent".  Paper result: γ = 2.49754,
+δ below regression resolution (< 1 us, dropped).
+"""
+
+from __future__ import annotations
+
+from ..clusters.profiles import myrinet
+from .common import ExperimentResult, resolve_scale
+from .validation import fit_figure
+
+__all__ = ["run", "SAMPLE_NPROCS"]
+
+SAMPLE_NPROCS = 24
+
+
+def run(scale="default", *, seed: int = 0) -> ExperimentResult:
+    """Build the Myrinet fit figure."""
+    scale = resolve_scale(scale)
+    return fit_figure(
+        "fig12", "Fig. 12", myrinet(), SAMPLE_NPROCS, scale, seed=seed
+    )

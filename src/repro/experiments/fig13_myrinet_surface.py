@@ -1,0 +1,25 @@
+"""Fig. 13 — All-to-All prediction surface on Myrinet.
+
+The n′ = 24 signature applied to 4..50 processes.  The paper notes the
+Myrinet fabric "becomes really saturate only when there are more than 40
+communicating processes", so sample-size choice shows up here (see the
+sample-size ablation bench).
+"""
+
+from __future__ import annotations
+
+from ..clusters.profiles import myrinet
+from .common import ExperimentResult, resolve_scale
+from .fig12_myrinet_fit import SAMPLE_NPROCS
+from .validation import surface_figure
+
+__all__ = ["run"]
+
+
+def run(scale="default", *, seed: int = 0) -> ExperimentResult:
+    """Build the Myrinet prediction surface."""
+    scale = resolve_scale(scale)
+    return surface_figure(
+        "fig13", "Fig. 13", myrinet(), SAMPLE_NPROCS, scale,
+        seed=seed, max_n=50,
+    )

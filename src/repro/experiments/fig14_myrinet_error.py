@@ -1,0 +1,24 @@
+"""Fig. 14 — estimation error vs process count on Myrinet.
+
+Error curves for the four reference sizes; deviations at small n are
+attributed by the paper "not to the model itself but to the choice of
+the sample data" (n′ = 24 is below the ~40-process saturation point).
+"""
+
+from __future__ import annotations
+
+from ..clusters.profiles import myrinet
+from .common import ExperimentResult, resolve_scale
+from .fig12_myrinet_fit import SAMPLE_NPROCS
+from .validation import error_figure
+
+__all__ = ["run"]
+
+
+def run(scale="default", *, seed: int = 0) -> ExperimentResult:
+    """Build the Myrinet error-vs-n figure."""
+    scale = resolve_scale(scale)
+    return error_figure(
+        "fig14", "Fig. 14", myrinet(), SAMPLE_NPROCS, scale,
+        seed=seed, max_n=50,
+    )

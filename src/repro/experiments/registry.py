@@ -1,0 +1,129 @@
+"""Experiment registry: map experiment ids to runners.
+
+``run_experiment("fig06")`` is the single entry point used by the CLI,
+the benchmark harness and the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .common import ExperimentResult
+from . import (
+    fig02_bandwidth,
+    fig03_transmission_times,
+    fig04_two_beta,
+    fig05_small_messages,
+    fig06_fe_fit,
+    fig07_fe_surface,
+    fig08_fe_error,
+    fig09_gige_fit,
+    fig10_gige_surface,
+    fig11_gige_error,
+    fig12_myrinet_fit,
+    fig13_myrinet_surface,
+    fig14_myrinet_error,
+    table_signatures,
+)
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry entry: id, what it reproduces, and its runner."""
+
+    exp_id: str
+    paper_ref: str
+    description: str
+    runner: Callable[..., ExperimentResult]
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.exp_id: spec
+    for spec in [
+        ExperimentSpec(
+            "fig02", "Fig. 2",
+            "average bandwidth vs simultaneous connections (GigE stress)",
+            fig02_bandwidth.run,
+        ),
+        ExperimentSpec(
+            "fig03", "Fig. 3",
+            "individual 32 MB transmission times under flood (GigE)",
+            fig03_transmission_times.run,
+        ),
+        ExperimentSpec(
+            "fig04", "Fig. 4",
+            "two-beta synthetic prediction vs measurement, 40 procs GigE",
+            fig04_two_beta.run,
+        ),
+        ExperimentSpec(
+            "fig05", "Fig. 5",
+            "small-message non-linearity surface (GigE, 256 B steps)",
+            fig05_small_messages.run,
+        ),
+        ExperimentSpec(
+            "fig06", "Fig. 6",
+            "Fast Ethernet fit at 24 machines (gamma/delta)",
+            fig06_fe_fit.run,
+        ),
+        ExperimentSpec(
+            "fig07", "Fig. 7",
+            "Fast Ethernet prediction surface",
+            fig07_fe_surface.run,
+        ),
+        ExperimentSpec(
+            "fig08", "Fig. 8",
+            "Fast Ethernet estimation error vs process count",
+            fig08_fe_error.run,
+        ),
+        ExperimentSpec(
+            "fig09", "Fig. 9",
+            "Gigabit Ethernet fit at 40 machines (gamma/delta)",
+            fig09_gige_fit.run,
+        ),
+        ExperimentSpec(
+            "fig10", "Fig. 10",
+            "Gigabit Ethernet prediction surface",
+            fig10_gige_surface.run,
+        ),
+        ExperimentSpec(
+            "fig11", "Fig. 11",
+            "Gigabit Ethernet estimation error vs process count",
+            fig11_gige_error.run,
+        ),
+        ExperimentSpec(
+            "fig12", "Fig. 12",
+            "Myrinet fit at 24 processes (gamma only)",
+            fig12_myrinet_fit.run,
+        ),
+        ExperimentSpec(
+            "fig13", "Fig. 13",
+            "Myrinet prediction surface",
+            fig13_myrinet_surface.run,
+        ),
+        ExperimentSpec(
+            "fig14", "Fig. 14",
+            "Myrinet estimation error vs process count",
+            fig14_myrinet_error.run,
+        ),
+        ExperimentSpec(
+            "tableS", "§8 parameters",
+            "fitted signatures vs paper values, all three networks",
+            table_signatures.run,
+        ),
+    ]
+}
+
+
+def run_experiment(
+    exp_id: str, scale: str = "default", *, seed: int = 0
+) -> ExperimentResult:
+    """Run one registered experiment by id."""
+    try:
+        spec = EXPERIMENTS[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
+    return spec.runner(scale, seed=seed)

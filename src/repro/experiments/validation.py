@@ -1,0 +1,225 @@
+"""Shared builders for the §8 validation figures.
+
+Each network gets three figures: a *fit* at the sample size n′
+(measured vs lower bound vs prediction), a *prediction surface* over
+(n, m), and an *error curve* vs n for four message sizes.  These
+builders implement the common logic; the per-figure modules bind the
+cluster, n′ and paper reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..clusters.profiles import ClusterProfile
+from ..core.bounds import alltoall_lower_bound
+from ..core.errors import relative_error_percent
+from ..measure.alltoall import measure_alltoall, sweep_sizes
+from .common import (
+    ExperimentResult,
+    Scale,
+    reference_hockney,
+    reference_signature,
+    sample_sizes_for,
+)
+
+__all__ = [
+    "fit_figure",
+    "surface_figure",
+    "error_figure",
+    "ERROR_MESSAGE_SIZES",
+]
+
+#: figures 8/11/14 plot these four sizes (binary KiB, as the paper's
+#: "128 kB".."1024 kB" labels).
+ERROR_MESSAGE_SIZES = (131_072, 262_144, 524_288, 1_048_576)
+
+
+def fit_figure(
+    exp_id: str,
+    paper_ref: str,
+    cluster: ClusterProfile,
+    sample_nprocs: int,
+    scale: Scale,
+    *,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Measured vs lower bound vs fitted prediction at n′ (Figs. 6/9/12)."""
+    nprocs = sample_nprocs if scale.name != "smoke" else 6
+    hockney = reference_hockney(cluster, scale, seed=seed)
+    signature = reference_signature(cluster, nprocs, scale, seed=seed)
+    sizes = sample_sizes_for(scale)
+    samples = sweep_sizes(
+        cluster, nprocs, sizes, reps=scale.reps, seed=seed + 1
+    )
+    m = np.asarray(sizes, dtype=np.float64)
+    measured = np.array([s.mean_time for s in samples])
+    bound = alltoall_lower_bound(nprocs, m, hockney)
+    predicted = signature.predict(nprocs, m)
+
+    result = ExperimentResult(
+        exp_id=exp_id,
+        title=f"MPI_Alltoall fit, {cluster.name}, {nprocs} machines",
+        paper_ref=paper_ref,
+        kind="lines",
+        xlabel="message size (bytes)",
+        ylabel="completion time (s)",
+        series={
+            "Direct Exchange": (m, measured),
+            "Lower bound": (m, bound),
+            "Prediction": (m, predicted),
+        },
+        params={
+            "cluster": cluster.name,
+            "nprocs": nprocs,
+            "gamma": signature.gamma,
+            "delta": signature.delta,
+            "threshold": signature.threshold,
+            "alpha": hockney.alpha,
+            "beta": hockney.beta,
+            "scale": scale.name,
+            "seed": seed,
+        },
+    )
+    paper = cluster.paper
+    if paper is not None:
+        result.notes.append(
+            f"fitted gamma={signature.gamma:.4f} delta={signature.delta * 1e3:.2f} ms "
+            f"M={signature.threshold} B "
+            f"(paper: gamma={paper.gamma} delta={paper.delta * 1e3:.2f} ms "
+            f"M={paper.threshold} B)"
+        )
+    fit_err = relative_error_percent(measured, predicted)
+    result.notes.append(
+        f"fit residual error range: [{np.min(fit_err):+.1f}%, {np.max(fit_err):+.1f}%]"
+    )
+    return result
+
+
+def _surface_grid(scale: Scale, max_n: int) -> tuple[list[int], list[int]]:
+    if scale.name == "smoke":
+        return [4, 8], [262_144, 1_048_576]
+    if scale.name == "full":
+        ns = list(range(4, 51, 4))
+    else:  # default / bench
+        ns = [5, 10, 20, 30, 40]
+    ns = [n for n in ns if n <= max_n]
+    ms = [131_072, 262_144, 524_288, 786_432, 1_048_576]
+    return ns, ms
+
+
+def surface_figure(
+    exp_id: str,
+    paper_ref: str,
+    cluster: ClusterProfile,
+    sample_nprocs: int,
+    scale: Scale,
+    *,
+    seed: int = 0,
+    max_n: int = 50,
+) -> ExperimentResult:
+    """Measured + predicted (n, m) surfaces (Figs. 7/10/13)."""
+    fit_n = sample_nprocs if scale.name != "smoke" else 6
+    signature = reference_signature(cluster, fit_n, scale, seed=seed)
+    n_values, m_values = _surface_grid(scale, max_n)
+    measured = np.zeros((len(n_values), len(m_values)))
+    for i, n in enumerate(n_values):
+        for j, m in enumerate(m_values):
+            measured[i, j] = measure_alltoall(
+                cluster, n, m, reps=scale.reps, seed=seed + 3
+            ).mean_time
+    predicted = signature.predict(
+        np.asarray(n_values, dtype=np.float64)[:, None],
+        np.asarray(m_values, dtype=np.float64)[None, :],
+    )
+    result = ExperimentResult(
+        exp_id=exp_id,
+        title=f"All-to-All prediction surface, {cluster.name}",
+        paper_ref=paper_ref,
+        kind="surface",
+        surfaces={"Direct Exchange": measured, "Prediction": predicted},
+        n_values=np.asarray(n_values),
+        m_values=np.asarray(m_values),
+        params={
+            "cluster": cluster.name,
+            "fit_nprocs": fit_n,
+            "gamma": signature.gamma,
+            "delta": signature.delta,
+            "scale": scale.name,
+            "seed": seed,
+        },
+    )
+    err = relative_error_percent(measured, predicted)
+    result.notes.append(
+        f"surface error: median {np.median(np.abs(err)):.1f}%, "
+        f"worst {np.max(np.abs(err)):.1f}% "
+        "(largest at small n where the network is unsaturated)"
+    )
+    return result
+
+
+def error_figure(
+    exp_id: str,
+    paper_ref: str,
+    cluster: ClusterProfile,
+    sample_nprocs: int,
+    scale: Scale,
+    *,
+    seed: int = 0,
+    max_n: int = 50,
+) -> ExperimentResult:
+    """Relative error vs process count for four sizes (Figs. 8/11/14)."""
+    fit_n = sample_nprocs if scale.name != "smoke" else 6
+    signature = reference_signature(cluster, fit_n, scale, seed=seed)
+    if scale.name == "smoke":
+        ns = [4, 8]
+        sizes = ERROR_MESSAGE_SIZES[:2]
+    elif scale.name == "full":
+        ns = list(range(4, 51, 3))
+        sizes = ERROR_MESSAGE_SIZES
+    else:  # default / bench
+        ns = [5, 10, 20, 30, 40]
+        sizes = ERROR_MESSAGE_SIZES
+    ns = [n for n in ns if n <= max_n]
+
+    series = {}
+    saturated_errors = []
+    for m in sizes:
+        errors = []
+        for n in ns:
+            sample = measure_alltoall(
+                cluster, n, int(m), reps=scale.reps, seed=seed + 4
+            )
+            estimated = signature.predict(n, int(m))
+            err = relative_error_percent(sample.mean_time, estimated)
+            errors.append(err)
+            if n >= fit_n:
+                saturated_errors.append(err)
+        label = f"{m // 1024} kB messages"
+        series[label] = (np.asarray(ns, dtype=np.float64), np.asarray(errors))
+
+    result = ExperimentResult(
+        exp_id=exp_id,
+        title=f"Estimation error vs processes, {cluster.name}",
+        paper_ref=paper_ref,
+        kind="lines",
+        xlabel="processes",
+        ylabel="(measured/estimated - 1) x100%",
+        series=series,
+        params={
+            "cluster": cluster.name,
+            "fit_nprocs": fit_n,
+            "gamma": signature.gamma,
+            "delta": signature.delta,
+            "scale": scale.name,
+            "seed": seed,
+        },
+    )
+    if saturated_errors:
+        result.notes.append(
+            f"median |error| at n >= n'={fit_n}: "
+            f"{np.median(np.abs(saturated_errors)):.1f}% "
+            "(paper: 'usually smaller than 10% when there are enough "
+            "processes to saturate the network')"
+        )
+    return result

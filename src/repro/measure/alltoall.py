@@ -1,0 +1,101 @@
+"""All-to-All timing measurements on a virtual cluster.
+
+Each sample is the mean of *reps* independent runs (the paper averages
+100 measures per (message size, process count) point; the default here
+is smaller because every run is a full simulation — pass ``reps=100`` to
+match the paper's averaging exactly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..clusters.profiles import ClusterProfile
+from ..core.signature import AlltoallSample
+from ..exceptions import MeasurementError
+from ..simnet.rng import RngFactory
+from ..simmpi.collectives import ALGORITHMS
+
+__all__ = ["measure_alltoall", "sweep_sizes", "sweep_grid"]
+
+
+def measure_alltoall(
+    cluster: ClusterProfile,
+    n_processes: int,
+    msg_size: int,
+    *,
+    reps: int = 3,
+    seed: int = 0,
+    algorithm: str = "direct",
+) -> AlltoallSample:
+    """Measure one (n, m) All-to-All point; returns the averaged sample."""
+    if n_processes < 2:
+        raise MeasurementError("All-to-All needs at least two processes")
+    if msg_size < 1:
+        raise MeasurementError("msg_size must be >= 1 byte")
+    if reps < 1:
+        raise MeasurementError("reps must be >= 1")
+    try:
+        program = ALGORITHMS[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise MeasurementError(
+            f"unknown algorithm {algorithm!r}; known: {known}"
+        ) from None
+    factory = RngFactory(seed)
+    times = np.empty(reps)
+    for rep in range(reps):
+        rep_seed = factory.child(
+            f"alltoall/{algorithm}/{n_processes}/{msg_size}/{rep}"
+        ).seed
+        runtime = cluster.runtime(n_processes, seed=rep_seed)
+        result = runtime.run(program, int(msg_size))
+        times[rep] = result.duration
+    return AlltoallSample(
+        n_processes=n_processes,
+        msg_size=int(msg_size),
+        mean_time=float(times.mean()),
+        std_time=float(times.std(ddof=1)) if reps > 1 else 0.0,
+        reps=reps,
+    )
+
+
+def sweep_sizes(
+    cluster: ClusterProfile,
+    n_processes: int,
+    sizes,
+    *,
+    reps: int = 3,
+    seed: int = 0,
+    algorithm: str = "direct",
+) -> list[AlltoallSample]:
+    """Message-size sweep at fixed n (the fit figures 6/9/12)."""
+    return [
+        measure_alltoall(
+            cluster, n_processes, int(size), reps=reps, seed=seed,
+            algorithm=algorithm,
+        )
+        for size in sizes
+    ]
+
+
+def sweep_grid(
+    cluster: ClusterProfile,
+    n_values,
+    sizes,
+    *,
+    reps: int = 3,
+    seed: int = 0,
+    algorithm: str = "direct",
+) -> list[AlltoallSample]:
+    """(n, m) grid sweep (the surface figures 5/7/10/13)."""
+    samples = []
+    for n in n_values:
+        for size in sizes:
+            samples.append(
+                measure_alltoall(
+                    cluster, int(n), int(size), reps=reps, seed=seed,
+                    algorithm=algorithm,
+                )
+            )
+    return samples

@@ -1,0 +1,174 @@
+"""Network stress (flooding) measurement — the paper's §3 methodology.
+
+"Several point-to-point connections are started simultaneously, flooding
+the link" (Fig. 1); the aggregate and per-connection throughputs expose
+the effective bandwidth and the contention overload (Figs. 2 and 3).
+
+Connections are raw fluid flows between disjoint host pairs: this is an
+iperf-style probe below MPI, so no protocol overheads apply beyond the
+wire framing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..clusters.profiles import ClusterProfile
+from ..exceptions import MeasurementError
+from ..simnet.engine import Engine
+from ..simnet.fluid import FluidNetwork
+from ..simnet.rng import RngFactory
+
+__all__ = ["StressRun", "StressSweep", "run_stress", "stress_sweep"]
+
+
+@dataclass(frozen=True)
+class StressRun:
+    """Per-connection transfer times for one k-connection flood."""
+
+    cluster: str
+    n_connections: int
+    transfer_bytes: int
+    times: np.ndarray  # (k,) seconds
+    losses: int
+
+    @property
+    def throughputs(self) -> np.ndarray:
+        """Per-connection payload throughput (bytes/s)."""
+        return self.transfer_bytes / self.times
+
+    @property
+    def mean_throughput(self) -> float:
+        """Average per-connection throughput (Fig. 2's y axis)."""
+        return float(self.throughputs.mean())
+
+    @property
+    def aggregate_throughput(self) -> float:
+        """Total payload moved per unit of the slowest connection's time."""
+        return self.n_connections * self.transfer_bytes / float(self.times.max())
+
+
+@dataclass(frozen=True)
+class StressSweep:
+    """Fig. 2/3 data: one :class:`StressRun` per connection count per rep."""
+
+    cluster: str
+    transfer_bytes: int
+    ks: tuple[int, ...]
+    runs: tuple[tuple[StressRun, ...], ...]  # runs[i] = reps for ks[i]
+
+    def mean_throughput_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(k, mean per-connection MB-level throughput) — Fig. 2 series."""
+        ks = np.asarray(self.ks, dtype=np.float64)
+        means = np.array(
+            [np.mean([r.mean_throughput for r in reps]) for reps in self.runs]
+        )
+        return ks, means
+
+    def scatter_times(self) -> tuple[np.ndarray, np.ndarray]:
+        """Flattened (k, individual transfer time) pairs — Fig. 3 dots."""
+        xs, ys = [], []
+        for k, reps in zip(self.ks, self.runs):
+            for run in reps:
+                xs.extend([k] * len(run.times))
+                ys.extend(run.times.tolist())
+        return np.asarray(xs, dtype=np.float64), np.asarray(ys, dtype=np.float64)
+
+    def average_time_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(k, mean transfer time) — Fig. 3's average line."""
+        ks = np.asarray(self.ks, dtype=np.float64)
+        means = np.array(
+            [np.mean([r.times.mean() for r in reps]) for reps in self.runs]
+        )
+        return ks, means
+
+    def all_times(self) -> np.ndarray:
+        """Every individual transfer time in the sweep (β_C extraction)."""
+        return np.concatenate(
+            [run.times for reps in self.runs for run in reps]
+        )
+
+    def saturated_times(self) -> np.ndarray:
+        """Transfer times at the largest connection count only."""
+        return np.concatenate([run.times for run in self.runs[-1]])
+
+
+def run_stress(
+    cluster: ClusterProfile,
+    n_connections: int,
+    transfer_bytes: int,
+    *,
+    seed: int = 0,
+) -> StressRun:
+    """Flood the cluster with *n_connections* disjoint-pair transfers."""
+    if n_connections < 1:
+        raise MeasurementError("need at least one connection")
+    if transfer_bytes <= 0:
+        raise MeasurementError("transfer_bytes must be positive")
+    n_hosts = 2 * n_connections
+    if n_hosts > cluster.max_hosts:
+        raise MeasurementError(
+            f"{n_connections} disjoint pairs need {n_hosts} hosts; "
+            f"{cluster.name} has {cluster.max_hosts}"
+        )
+    topology = cluster.topology(n_hosts)
+    engine = Engine()
+    rng = RngFactory(seed)
+    network = FluidNetwork(
+        engine,
+        topology,
+        loss_params=cluster.loss,
+        hol_penalty=cluster.hol,
+        rng=rng.stream("net/loss"),
+    )
+    wire_bytes = cluster.transport.wire_bytes(transfer_bytes)
+    flows = [
+        network.inject(2 * i, 2 * i + 1, wire_bytes, label=f"stress{i}")
+        for i in range(n_connections)
+    ]
+    engine.run()
+    times = np.array([flow.duration for flow in flows])
+    if not np.all(np.isfinite(times)):  # pragma: no cover - defensive
+        raise MeasurementError("stress run left unfinished flows")
+    return StressRun(
+        cluster=cluster.name,
+        n_connections=n_connections,
+        transfer_bytes=transfer_bytes,
+        times=times,
+        losses=network.total_losses,
+    )
+
+
+def stress_sweep(
+    cluster: ClusterProfile,
+    ks,
+    transfer_bytes: int,
+    *,
+    reps: int = 3,
+    seed: int = 0,
+) -> StressSweep:
+    """Fig. 2/3 sweep: increasing simultaneous connection counts."""
+    ks = tuple(int(k) for k in ks)
+    if not ks or any(k < 1 for k in ks):
+        raise MeasurementError("connection counts must be positive")
+    factory = RngFactory(seed)
+    runs = []
+    for k in ks:
+        reps_runs = tuple(
+            run_stress(
+                cluster,
+                k,
+                transfer_bytes,
+                seed=factory.child(f"stress/{k}/{rep}").seed,
+            )
+            for rep in range(reps)
+        )
+        runs.append(reps_runs)
+    return StressSweep(
+        cluster=cluster.name,
+        transfer_bytes=transfer_bytes,
+        ks=ks,
+        runs=tuple(runs),
+    )

@@ -1,0 +1,33 @@
+"""MPI-like simulated runtime (substrate).
+
+Replaces LAM-MPI/MPICH on the paper's clusters; see DESIGN.md §2.
+"""
+
+from .collectives import (
+    ALGORITHMS,
+    alltoall_bruck,
+    alltoall_direct,
+    alltoall_ring,
+    alltoall_rounds,
+)
+from .request import ANY_SOURCE, ANY_TAG, RecvRequest, Request, SendRequest
+from .runtime import RankContext, RankProgram, RunResult, Runtime
+from .transport import TransportParams
+
+__all__ = [
+    "ALGORITHMS",
+    "alltoall_bruck",
+    "alltoall_direct",
+    "alltoall_ring",
+    "alltoall_rounds",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "RecvRequest",
+    "Request",
+    "SendRequest",
+    "RankContext",
+    "RankProgram",
+    "RunResult",
+    "Runtime",
+    "TransportParams",
+]

@@ -1,0 +1,127 @@
+"""All-to-all algorithms (rank programs for the simulated runtime).
+
+Implements the paper's Direct Exchange (Algorithm 1) in the two flavours
+found in 2006-era MPI libraries, plus two classic baselines:
+
+* :func:`alltoall_direct` — post **all** receives and sends at once, then
+  wait for everything (LAM-MPI's basic linear algorithm; this realises the
+  paper's premise that "all communications are started simultaneously"
+  and is the algorithm measured throughout the evaluation);
+* :func:`alltoall_rounds` — the literal Algorithm 1: n-1 rounds of
+  ``sendrecv`` with destination rotation ``p_(i+t) mod n`` and blocking at
+  each round (MPICH1-style pairwise progression);
+* :func:`alltoall_bruck` — Bruck et al.'s log-round algorithm: ⌈log2 n⌉
+  rounds exchanging aggregated blocks; latency-optimal, bandwidth-
+  suboptimal (each item travels multiple hops);
+* :func:`alltoall_ring` — store-and-forward neighbour ring: step s moves
+  (n-s) blocks one hop right; the paper's §4 explains why such forwarding
+  only wins when latency dominates bandwidth.
+
+All take ``(ctx, msg_size)`` and are registered in :data:`ALGORITHMS`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from .runtime import RankContext
+
+__all__ = [
+    "alltoall_direct",
+    "alltoall_rounds",
+    "alltoall_bruck",
+    "alltoall_ring",
+    "ALGORITHMS",
+    "TAG_ALLTOALL",
+]
+
+TAG_ALLTOALL = 77
+
+
+def alltoall_direct(
+    ctx: RankContext, msg_size: int
+) -> Generator[Any, None, None]:
+    """Direct exchange, all transfers simultaneous (LAM-style).
+
+    Receives are posted before sends (standard practice: pre-posting
+    avoids unexpected-queue traffic), destinations rotate by rank so that
+    round t pairs ``i -> i+t`` — but nothing blocks between rounds, so the
+    network sees all n-1 outbound messages of every process at once.
+    """
+    n, me = ctx.size, ctx.rank
+    if n == 1:
+        ctx.local_copy(msg_size)
+        return
+    requests = []
+    for t in range(1, n):
+        requests.append(ctx.irecv((me - t) % n, tag=TAG_ALLTOALL))
+    for t in range(1, n):
+        requests.append(ctx.isend((me + t) % n, msg_size, tag=TAG_ALLTOALL))
+    ctx.local_copy(msg_size)
+    yield requests
+
+
+def alltoall_rounds(
+    ctx: RankContext, msg_size: int
+) -> Generator[Any, None, None]:
+    """Paper Algorithm 1, literally: blocking sendrecv per round."""
+    n, me = ctx.size, ctx.rank
+    ctx.local_copy(msg_size)
+    for t in range(1, n):
+        send_req = ctx.isend((me + t) % n, msg_size, tag=TAG_ALLTOALL + t)
+        recv_req = ctx.irecv((me - t) % n, tag=TAG_ALLTOALL + t)
+        yield [send_req, recv_req]
+
+
+def alltoall_bruck(
+    ctx: RankContext, msg_size: int
+) -> Generator[Any, None, None]:
+    """Bruck algorithm: ⌈log2 n⌉ rounds of aggregated block exchange.
+
+    In round k every rank sends, to ``me + 2^k``, the blocks whose
+    relative destination offset has bit k set — ``count_k`` blocks of
+    *msg_size* bytes each.  Items travel up to ⌈log2 n⌉ hops, trading
+    bandwidth for start-ups.
+    """
+    n, me = ctx.size, ctx.rank
+    ctx.local_copy(msg_size)
+    if n == 1:
+        return
+    k = 0
+    while (1 << k) < n:
+        distance = 1 << k
+        count = sum(1 for j in range(1, n) if (j >> k) & 1)
+        dst = (me + distance) % n
+        src = (me - distance) % n
+        send_req = ctx.isend(dst, count * msg_size, tag=TAG_ALLTOALL + k)
+        recv_req = ctx.irecv(src, tag=TAG_ALLTOALL + k)
+        yield [send_req, recv_req]
+        k += 1
+
+
+def alltoall_ring(
+    ctx: RankContext, msg_size: int
+) -> Generator[Any, None, None]:
+    """Store-and-forward neighbour ring.
+
+    Step s (1..n-1) forwards the (n-s) blocks still in transit one hop to
+    the right; blocks destined to the local rank drop out.  Total bytes
+    per link: m·n(n-1)/2 — the bandwidth-hostile baseline of §4.
+    """
+    n, me = ctx.size, ctx.rank
+    ctx.local_copy(msg_size)
+    right = (me + 1) % n
+    left = (me - 1) % n
+    for step in range(1, n):
+        payload = (n - step) * msg_size
+        send_req = ctx.isend(right, payload, tag=TAG_ALLTOALL + step)
+        recv_req = ctx.irecv(left, tag=TAG_ALLTOALL + step)
+        yield [send_req, recv_req]
+
+
+ALGORITHMS = {
+    "direct": alltoall_direct,
+    "rounds": alltoall_rounds,
+    "bruck": alltoall_bruck,
+    "ring": alltoall_ring,
+}

@@ -1,0 +1,88 @@
+"""Nonblocking communication requests (MPI_Request analogue).
+
+Requests are created by :meth:`RankContext.isend` / :meth:`RankContext.irecv`
+and completed by the transport layer.  Rank programs block on them by
+yielding them (see :mod:`repro.simmpi.runtime`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Request", "SendRequest", "RecvRequest"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_req_ids = itertools.count()
+
+
+class Request:
+    """Base nonblocking request."""
+
+    __slots__ = ("rid", "rank", "done", "completion_time", "_callbacks")
+
+    def __init__(self, rank: int) -> None:
+        self.rid = next(_req_ids)
+        self.rank = rank
+        self.done = False
+        self.completion_time = math.nan
+        self._callbacks: list[Callable[[], None]] = []
+
+    def on_done(self, callback: Callable[[], None]) -> None:
+        """Register *callback*; fires immediately if already complete."""
+        if self.done:
+            callback()
+        else:
+            self._callbacks.append(callback)
+
+    def complete(self, time: float) -> None:
+        """Mark complete at *time* and fire callbacks (transport use only)."""
+        if self.done:
+            raise RuntimeError(f"request {self.rid} completed twice")
+        self.done = True
+        self.completion_time = time
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(rid={self.rid}, rank={self.rank}, done={self.done})"
+
+
+class SendRequest(Request):
+    """A posted nonblocking send."""
+
+    __slots__ = ("dst", "tag", "nbytes")
+
+    def __init__(self, rank: int, dst: int, tag: int, nbytes: int) -> None:
+        super().__init__(rank)
+        self.dst = dst
+        self.tag = tag
+        self.nbytes = nbytes
+
+
+class RecvRequest(Request):
+    """A posted nonblocking receive.
+
+    After completion, :attr:`source`, :attr:`tag` and :attr:`nbytes`
+    describe the matched message (wildcards resolved).
+    """
+
+    __slots__ = ("source", "tag", "nbytes", "match_source", "match_tag")
+
+    def __init__(self, rank: int, source: int, tag: int) -> None:
+        super().__init__(rank)
+        self.match_source = source
+        self.match_tag = tag
+        self.source = source
+        self.tag = tag
+        self.nbytes = 0
+
+    def matches(self, src: int, tag: int) -> bool:
+        """Whether an incoming (src, tag) envelope satisfies this post."""
+        src_ok = self.match_source in (ANY_SOURCE, src)
+        tag_ok = self.match_tag in (ANY_TAG, tag)
+        return src_ok and tag_ok

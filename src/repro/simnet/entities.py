@@ -1,0 +1,116 @@
+"""Network entities: hosts, links, switches.
+
+The topology model is deliberately close to the paper's §4 assumptions:
+
+* **hosts** own one full-duplex NIC, modelled as a pair of directed links
+  (transmit and receive) — this *is* the 1-port full-duplex restriction:
+  a host's aggregate send rate can never exceed its TX link capacity, and
+  likewise for receive;
+* **switches** forward between ports; a switch may have a finite
+  *backplane* capacity, modelled as one shared directed resource crossed
+  by every flow traversing the switch (this is how a formally
+  "non-blocking" 2006 stack of edge switches with oversubscribed uplinks
+  is approximated at flow level);
+* **trunks** (inter-switch cables) are directed link pairs.
+
+All capacities are bytes/second; all link objects are flyweight records
+indexed by integer id inside a :class:`~repro.simnet.topology.Topology`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["LinkKind", "Link", "Host", "Switch"]
+
+
+class LinkKind(enum.Enum):
+    """Role of a directed link inside the topology."""
+
+    HOST_TX = "host_tx"  #: host NIC, host -> switch direction
+    HOST_RX = "host_rx"  #: host NIC, switch -> host direction
+    TRUNK = "trunk"  #: inter-switch cable (one direction)
+    BACKPLANE = "backplane"  #: shared switch fabric capacity
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed capacity-constrained resource.
+
+    Attributes
+    ----------
+    index:
+        Dense integer id (row in the fluid solver's capacity vector).
+    capacity:
+        Bytes per second.
+    kind:
+        Structural role (NIC direction, trunk, backplane).
+    name:
+        Human-readable identifier for traces and error messages.
+    """
+
+    index: int
+    capacity: float
+    kind: LinkKind
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"link {self.name!r}: capacity must be > 0")
+
+
+@dataclass
+class Host:
+    """A compute node with a single full-duplex NIC.
+
+    Attributes
+    ----------
+    index:
+        Dense host id (MPI ranks map onto hosts by index).
+    switch:
+        Index of the edge switch the NIC is cabled to.
+    tx_link / rx_link:
+        Link indices of the NIC's two directions.
+    """
+
+    index: int
+    switch: int
+    tx_link: int = -1
+    rx_link: int = -1
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"host{self.index}"
+
+
+@dataclass
+class Switch:
+    """A switch with optional finite backplane and trunk ports.
+
+    Attributes
+    ----------
+    index:
+        Dense switch id.
+    backplane_link:
+        Link index of the shared fabric resource, or ``-1`` when the
+        switch is modelled as ideally non-blocking.
+    trunks:
+        Mapping neighbour switch index -> link index (direction: this
+        switch towards the neighbour).
+    """
+
+    index: int
+    backplane_link: int = -1
+    trunks: dict[int, int] = field(default_factory=dict)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"switch{self.index}"
+
+    @property
+    def has_backplane(self) -> bool:
+        """Whether the switch models a finite shared fabric."""
+        return self.backplane_link >= 0

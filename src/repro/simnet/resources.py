@@ -1,0 +1,79 @@
+"""Serial host resources (CPU-side FIFO service).
+
+Models the per-message host processing that a kernel network stack pays
+when demultiplexing many concurrent inbound streams: requests queue and
+are served one at a time.  This is the mechanism behind the paper's δ
+parameter (see DESIGN.md §5) — with n-1 simultaneous arrivals the queue
+serialises, contributing an affine per-round overhead, while a single
+ping-pong message (queue of one) pays only its own service time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from .engine import Engine
+
+__all__ = ["SerialResource"]
+
+
+class SerialResource:
+    """A FIFO server with deterministic service order.
+
+    Examples
+    --------
+    >>> eng = Engine()
+    >>> cpu = SerialResource(eng, name="host0.cpu")
+    >>> done = []
+    >>> cpu.request(0.5, lambda: done.append(eng.now))
+    >>> cpu.request(0.25, lambda: done.append(eng.now))
+    >>> eng.run()
+    >>> done
+    [0.5, 0.75]
+    """
+
+    def __init__(self, engine: Engine, *, name: str = "resource") -> None:
+        self._engine = engine
+        self._queue: deque[tuple[float, Callable[[], None]]] = deque()
+        self._busy = False
+        self.name = name
+        self.total_busy_time = 0.0
+        self.served = 0
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting (not counting the one in service)."""
+        return len(self._queue)
+
+    @property
+    def busy(self) -> bool:
+        """Whether a request is currently in service."""
+        return self._busy
+
+    def request(self, duration: float, callback: Callable[[], None]) -> None:
+        """Enqueue a service request of *duration* seconds.
+
+        *callback* fires when service completes.  Zero-duration requests
+        still respect FIFO ordering.
+        """
+        if duration < 0:
+            raise ValueError(f"negative service duration {duration!r}")
+        self._queue.append((duration, callback))
+        if not self._busy:
+            self._serve_next()
+
+    def _serve_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        duration, callback = self._queue.popleft()
+        self.total_busy_time += duration
+        self.served += 1
+
+        def _finish() -> None:
+            callback()
+            self._serve_next()
+
+        self._engine.schedule_after(duration, _finish)

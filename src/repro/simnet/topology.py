@@ -1,0 +1,203 @@
+"""Cluster topologies and routing.
+
+Provides the :class:`Topology` container plus builders for the two shapes
+used in the paper's evaluation:
+
+* :func:`single_switch` — all hosts on one switch (GdX Gigabit Ethernet,
+  icluster2 Myrinet M3-E128), optionally with a finite backplane;
+* :func:`edge_core` — several edge switches star-connected to one core
+  switch (icluster2 Fast Ethernet: 5 FE edge switches, 20 nodes each,
+  interconnected by a Gigabit core).
+
+Routes are computed once at build time.  For general graphs the switch
+fabric is a :mod:`networkx` graph and paths come from shortest-path; the
+two builders above also exercise that code path so custom topologies
+behave identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..exceptions import RoutingError
+from .entities import Host, Link, LinkKind, Switch
+
+__all__ = ["Topology", "single_switch", "edge_core"]
+
+
+@dataclass
+class Topology:
+    """A routed cluster network.
+
+    Use :func:`single_switch` / :func:`edge_core` (or build hosts,
+    switches and links by hand) and then call :meth:`finalize` to compute
+    routes.  After finalisation the object is logically immutable.
+    """
+
+    hosts: list[Host] = field(default_factory=list)
+    switches: list[Switch] = field(default_factory=list)
+    links: list[Link] = field(default_factory=list)
+    name: str = "topology"
+    _switch_paths: dict[tuple[int, int], tuple[int, ...]] = field(
+        default_factory=dict, repr=False
+    )
+    _finalized: bool = field(default=False, repr=False)
+
+    # -- construction -------------------------------------------------
+
+    def add_link(self, capacity: float, kind: LinkKind, name: str) -> int:
+        """Append a directed link; returns its dense index."""
+        link = Link(len(self.links), capacity, kind, name)
+        self.links.append(link)
+        return link.index
+
+    def add_switch(self, *, backplane_capacity: float | None = None) -> int:
+        """Append a switch, optionally with a finite backplane."""
+        idx = len(self.switches)
+        backplane = -1
+        if backplane_capacity is not None:
+            backplane = self.add_link(
+                backplane_capacity, LinkKind.BACKPLANE, f"switch{idx}.backplane"
+            )
+        self.switches.append(Switch(idx, backplane_link=backplane))
+        return idx
+
+    def add_host(self, switch: int, *, nic_bandwidth: float) -> int:
+        """Append a host cabled to *switch* with a full-duplex NIC."""
+        if not 0 <= switch < len(self.switches):
+            raise ValueError(f"no such switch: {switch}")
+        idx = len(self.hosts)
+        tx = self.add_link(nic_bandwidth, LinkKind.HOST_TX, f"host{idx}.tx")
+        rx = self.add_link(nic_bandwidth, LinkKind.HOST_RX, f"host{idx}.rx")
+        self.hosts.append(Host(idx, switch, tx_link=tx, rx_link=rx))
+        return idx
+
+    def connect_switches(self, a: int, b: int, *, bandwidth: float) -> None:
+        """Cable two switches with a full-duplex trunk."""
+        ab = self.add_link(bandwidth, LinkKind.TRUNK, f"trunk{a}->{b}")
+        ba = self.add_link(bandwidth, LinkKind.TRUNK, f"trunk{b}->{a}")
+        self.switches[a].trunks[b] = ab
+        self.switches[b].trunks[a] = ba
+
+    def finalize(self) -> "Topology":
+        """Compute inter-switch routes; must be called before routing."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(len(self.switches)))
+        for sw in self.switches:
+            for neighbour in sw.trunks:
+                graph.add_edge(sw.index, neighbour)
+        for src in range(len(self.switches)):
+            try:
+                paths = nx.single_source_shortest_path(graph, src)
+            except nx.NetworkXError as exc:  # pragma: no cover - defensive
+                raise RoutingError(str(exc)) from exc
+            for dst, node_path in paths.items():
+                self._switch_paths[(src, dst)] = tuple(node_path)
+        self._finalized = True
+        return self
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def n_hosts(self) -> int:
+        """Number of hosts."""
+        return len(self.hosts)
+
+    @property
+    def n_links(self) -> int:
+        """Number of directed links (fluid solver dimension)."""
+        return len(self.links)
+
+    def capacities(self) -> list[float]:
+        """Capacity vector aligned with link indices."""
+        return [link.capacity for link in self.links]
+
+    def route(self, src: int, dst: int) -> tuple[int, ...]:
+        """Directed link indices crossed by a flow from host *src* to *dst*.
+
+        The route is: source TX NIC, then for every switch on the switch
+        path its backplane (when finite), the trunks between consecutive
+        switches, and finally the destination RX NIC.  Same-host routes
+        are empty (local copies never enter the network).
+        """
+        if not self._finalized:
+            raise RoutingError("topology not finalized; call finalize() first")
+        if src == dst:
+            return ()
+        try:
+            h_src, h_dst = self.hosts[src], self.hosts[dst]
+        except IndexError as exc:
+            raise RoutingError(f"no such host pair ({src}, {dst})") from exc
+        key = (h_src.switch, h_dst.switch)
+        switch_path = self._switch_paths.get(key)
+        if switch_path is None:
+            raise RoutingError(
+                f"no switch path between {h_src.name} and {h_dst.name}"
+            )
+        path: list[int] = [h_src.tx_link]
+        for position, sw_idx in enumerate(switch_path):
+            switch = self.switches[sw_idx]
+            if switch.has_backplane:
+                path.append(switch.backplane_link)
+            if position + 1 < len(switch_path):
+                nxt = switch_path[position + 1]
+                path.append(switch.trunks[nxt])
+        path.append(h_dst.rx_link)
+        return tuple(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Topology({self.name!r}, hosts={len(self.hosts)}, "
+            f"switches={len(self.switches)}, links={len(self.links)})"
+        )
+
+
+def single_switch(
+    n_hosts: int,
+    *,
+    nic_bandwidth: float,
+    backplane_capacity: float | None = None,
+    name: str = "single-switch",
+) -> Topology:
+    """All *n_hosts* on one switch (GdX GigE / icluster2 Myrinet shape)."""
+    if n_hosts < 1:
+        raise ValueError("need at least one host")
+    topo = Topology(name=name)
+    sw = topo.add_switch(backplane_capacity=backplane_capacity)
+    for _ in range(n_hosts):
+        topo.add_host(sw, nic_bandwidth=nic_bandwidth)
+    return topo.finalize()
+
+
+def edge_core(
+    n_hosts: int,
+    *,
+    nic_bandwidth: float,
+    hosts_per_edge: int,
+    trunk_bandwidth: float,
+    edge_backplane: float | None = None,
+    core_backplane: float | None = None,
+    name: str = "edge-core",
+) -> Topology:
+    """Edge switches star-connected to a core (icluster2 FE shape).
+
+    Hosts fill edge switches in blocks of *hosts_per_edge* (matching
+    "5 Fast Ethernet switches - 20 nodes per switch - interconnected by
+    1 Gigabit Ethernet switch").
+    """
+    if n_hosts < 1:
+        raise ValueError("need at least one host")
+    if hosts_per_edge < 1:
+        raise ValueError("hosts_per_edge must be >= 1")
+    topo = Topology(name=name)
+    core = topo.add_switch(backplane_capacity=core_backplane)
+    n_edges = -(-n_hosts // hosts_per_edge)  # ceil division
+    for _ in range(n_edges):
+        edge = topo.add_switch(backplane_capacity=edge_backplane)
+        topo.connect_switches(edge, core, bandwidth=trunk_bandwidth)
+    for h in range(n_hosts):
+        edge_switch = 1 + h // hosts_per_edge
+        topo.add_host(edge_switch, nic_bandwidth=nic_bandwidth)
+    return topo.finalize()

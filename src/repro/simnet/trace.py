@@ -1,0 +1,63 @@
+"""Structured event tracing for simulations.
+
+A lightweight append-only trace that modules opt into.  Traces are the
+ground truth for integration tests (e.g. "no flow ever exceeded its NIC
+rate", "every RTO stall eventually resumed") and for debugging
+calibration runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["TraceRecord", "Trace", "NullTrace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: a timestamped, categorised event with payload."""
+
+    time: float
+    category: str
+    payload: dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+
+@dataclass
+class Trace:
+    """Recording trace (use :class:`NullTrace` to disable with zero cost)."""
+
+    records: list[TraceRecord] = field(default_factory=list)
+    enabled: bool = True
+
+    def emit(self, time: float, category: str, **payload: Any) -> None:
+        """Append a record."""
+        if self.enabled:
+            self.records.append(TraceRecord(time, category, payload))
+
+    def by_category(self, category: str) -> list[TraceRecord]:
+        """All records of one category, in emission order."""
+        return [r for r in self.records if r.category == category]
+
+    def categories(self) -> set[str]:
+        """Distinct categories present."""
+        return {r.category for r in self.records}
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+
+class NullTrace(Trace):
+    """A trace that drops everything (default: tracing off)."""
+
+    def __init__(self) -> None:
+        super().__init__(records=[], enabled=False)
+
+    def emit(self, time: float, category: str, **payload: Any) -> None:  # noqa: D102
+        return None

@@ -1,0 +1,113 @@
+"""Byte and time unit helpers.
+
+The paper mixes unit conventions freely (``kB`` message sizes, ``MB/s``
+throughputs, gap-per-byte ``s/byte`` transmission parameters).  This module
+centralises the conversions so that every other module can speak SI seconds
+and bytes internally while accepting and printing human-friendly figures.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "KIB",
+    "MIB",
+    "parse_size",
+    "format_size",
+    "format_time",
+    "format_bandwidth",
+    "bandwidth_to_beta",
+    "beta_to_bandwidth",
+]
+
+# Decimal units (network gear is specified in powers of ten).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+# Binary units (message sizes in the paper, e.g. "1024 kB", are binary kilobytes).
+KIB = 1_024
+MIB = 1_048_576
+
+_SIZE_RE = re.compile(
+    r"^\s*([0-9]+(?:\.[0-9]+)?)\s*(b|kb|kib|mb|mib|gb|gib)?\s*$",
+    re.IGNORECASE,
+)
+
+_SIZE_FACTORS = {
+    None: 1,
+    "b": 1,
+    "kb": KIB,  # the paper's "kB" sizes are 1024-based message sizes
+    "kib": KIB,
+    "mb": MIB,
+    "mib": MIB,
+    "gb": 1024**3,
+    "gib": 1024**3,
+}
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human size string (``"32 MB"``, ``"8kB"``) into bytes.
+
+    Integers/floats pass through unchanged (rounded to int).  Following the
+    paper's convention, ``kB``/``MB`` in *message size* context are binary
+    (1024-based): the paper's "1024 kB messages" are 1 MiB payloads.
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError(f"size must be non-negative, got {text!r}")
+        return int(round(text))
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ValueError(f"cannot parse size {text!r}")
+    value = float(match.group(1))
+    unit = match.group(2)
+    factor = _SIZE_FACTORS[unit.lower() if unit else None]
+    return int(round(value * factor))
+
+
+def format_size(nbytes: float) -> str:
+    """Format a byte count with a binary suffix (``"256.0 KiB"``)."""
+    value = float(nbytes)
+    for suffix in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or suffix == "GiB":
+            if suffix == "B":
+                return f"{int(value)} {suffix}"
+            return f"{value:.1f} {suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_time(seconds: float) -> str:
+    """Format a duration with an adaptive unit (s / ms / us / ns)."""
+    abs_s = abs(seconds)
+    if abs_s >= 1.0 or abs_s == 0.0:
+        return f"{seconds:.3f} s"
+    if abs_s >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if abs_s >= 1e-6:
+        return f"{seconds * 1e6:.3f} us"
+    return f"{seconds * 1e9:.1f} ns"
+
+
+def format_bandwidth(bytes_per_second: float) -> str:
+    """Format a throughput in MB/s (decimal, matching the paper's axes)."""
+    return f"{bytes_per_second / MB:.2f} MB/s"
+
+
+def bandwidth_to_beta(bytes_per_second: float) -> float:
+    """Convert a link bandwidth into a Hockney gap-per-byte β (s/byte)."""
+    if bytes_per_second <= 0:
+        raise ValueError("bandwidth must be positive")
+    return 1.0 / bytes_per_second
+
+
+def beta_to_bandwidth(beta: float) -> float:
+    """Convert a Hockney gap-per-byte β (s/byte) into bytes/second."""
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    return 1.0 / beta

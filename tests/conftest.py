@@ -1,0 +1,66 @@
+"""Shared fixtures and hypothesis configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.clusters.profiles import (
+    fast_ethernet,
+    gigabit_ethernet,
+    myrinet,
+)
+from repro.simnet.engine import Engine
+from repro.simnet.topology import single_switch
+
+# Keep property tests fast and deterministic in CI.
+settings.register_profile(
+    "repro",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running simulation test (deselect with -m 'not slow')"
+    )
+
+
+@pytest.fixture
+def engine() -> Engine:
+    """A fresh event engine."""
+    return Engine()
+
+
+@pytest.fixture
+def small_topology():
+    """Four hosts on one ideal switch, 100 MB/s NICs."""
+    return single_switch(4, nic_bandwidth=100e6)
+
+
+@pytest.fixture(scope="session")
+def gige_cluster():
+    """The Gigabit Ethernet profile (session-scoped: profiles are frozen)."""
+    return gigabit_ethernet()
+
+
+@pytest.fixture(scope="session")
+def fe_cluster():
+    """The Fast Ethernet profile."""
+    return fast_ethernet()
+
+
+@pytest.fixture(scope="session")
+def myrinet_cluster():
+    """The Myrinet profile."""
+    return myrinet()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic NumPy generator for test inputs."""
+    return np.random.default_rng(12345)

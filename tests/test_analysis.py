@@ -1,0 +1,70 @@
+"""Unit tests for ASCII plotting and CSV IO."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import line_plot, scatter_plot, surface_table
+from repro.analysis.io import read_csv, rows_from_series, write_csv
+
+
+class TestLinePlot:
+    def test_contains_axes_and_legend(self):
+        text = line_plot(
+            {"a": ([1, 2, 3], [1, 4, 9]), "b": ([1, 2, 3], [2, 2, 2])},
+            title="demo", xlabel="x", ylabel="y",
+        )
+        assert "demo" in text
+        assert "[*] a" in text and "[+] b" in text
+        assert "x: x" in text
+
+    def test_handles_constant_series(self):
+        text = line_plot({"flat": ([0, 1], [5.0, 5.0])})
+        assert "flat" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+
+
+class TestScatterPlot:
+    def test_overlay_series_rendered(self):
+        text = scatter_plot(
+            [1, 2, 3, 4], [1.0, 1.1, 0.9, 3.0],
+            overlay={"avg": ([1, 4], [1.0, 1.5])},
+        )
+        assert "samples" in text
+        assert "avg" in text
+
+
+class TestSurfaceTable:
+    def test_grid_rendered_with_labels(self):
+        text = surface_table(
+            [4, 8], [100, 200], np.array([[1.0, 2.0], [3.0, 4.0]]),
+            title="surf",
+        )
+        assert "surf" in text
+        assert "100" in text and "200" in text
+        assert "3.0000" in text
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            surface_table([1], [1, 2], np.zeros((2, 2)))
+
+
+class TestCsv:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "sub" / "data.csv"
+        write_csv(path, ["a", "b"], [{"a": 1, "b": 2.5}, {"a": 3, "b": ""}])
+        rows = read_csv(path)
+        assert rows[0]["a"] == "1"
+        assert rows[0]["b"] == "2.5"
+        assert len(rows) == 2
+
+    def test_rows_from_series_pivots_on_x(self):
+        fieldnames, rows = rows_from_series(
+            {"s1": ([1, 2], [10, 20]), "s2": ([2, 3], [200, 300])},
+            x_name="k",
+        )
+        assert fieldnames == ["k", "s1", "s2"]
+        assert rows[0] == {"k": 1.0, "s1": 10.0, "s2": ""}
+        assert rows[1] == {"k": 2.0, "s1": 20.0, "s2": 200.0}

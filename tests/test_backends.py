@@ -1,0 +1,48 @@
+"""Unit tests for measurement backends."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BackendUnavailableError
+from repro.measure.backends import Mpi4pyBackend, SimBackend, get_backend
+
+
+class TestSimBackend:
+    def test_pingpong_times_shape(self, gige_cluster):
+        backend = SimBackend(gige_cluster)
+        times = backend.pingpong_times([1, 65_536], reps=1, seed=0)
+        assert times.shape == (2,)
+        assert np.all(times > 0)
+
+    def test_alltoall_time_positive(self, gige_cluster):
+        backend = SimBackend(gige_cluster)
+        assert backend.alltoall_time(4, 65_536, reps=1, seed=0) > 0
+
+    def test_name_includes_cluster(self, gige_cluster):
+        assert "gigabit-ethernet" in SimBackend(gige_cluster).name
+
+
+class TestFactory:
+    def test_sim_requires_cluster(self):
+        with pytest.raises(ValueError, match="cluster"):
+            get_backend("sim")
+
+    def test_sim_backend_constructed(self, gige_cluster):
+        backend = get_backend("sim", gige_cluster)
+        assert isinstance(backend, SimBackend)
+
+    def test_unknown_backend_rejected(self, gige_cluster):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("carrier-pigeon", gige_cluster)
+
+    def test_mpi4py_unavailable_offline(self):
+        # mpi4py is not installed in this environment: the backend must
+        # fail with the documented exception, not an ImportError.
+        try:
+            import mpi4py  # noqa: F401
+
+            pytest.skip("mpi4py installed; live backend available")
+        except ImportError:
+            pass
+        with pytest.raises(BackendUnavailableError, match="mpi4py"):
+            Mpi4pyBackend()

@@ -1,0 +1,59 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig06" in out
+        assert "tableS" in out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "fig06", "--scale", "smoke"])
+        assert args.experiment == "fig06"
+        assert args.scale == "smoke"
+
+
+class TestPredict:
+    def test_predict_prints_estimate(self, capsys):
+        assert main(["predict", "gigabit-ethernet", "40", "1024kB"]) == 0
+        out = capsys.readouterr().out
+        assert "prediction" in out
+        assert "lower bound" in out
+
+    def test_predict_parses_size_strings(self, capsys):
+        assert main(["predict", "myrinet", "24", "256kB"]) == 0
+
+
+class TestRunSmoke:
+    def test_run_experiment_with_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig02.csv"
+        assert main([
+            "run", "fig02", "--scale", "smoke", "--csv", str(csv_path)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Average bandwidth" in out
+        assert csv_path.exists()
+
+    def test_characterize_small(self, capsys):
+        assert main([
+            "characterize", "gigabit-ethernet", "--nprocs", "6",
+            "--reps", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "signature" in out
+        assert "gamma" in out

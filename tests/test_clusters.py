@@ -1,0 +1,74 @@
+"""Unit tests for cluster profiles."""
+
+import pytest
+
+from repro.clusters.profiles import (
+    CLUSTERS,
+    fast_ethernet,
+    get_cluster,
+    gigabit_ethernet,
+    myrinet,
+)
+
+
+class TestRegistry:
+    def test_all_profiles_constructible(self):
+        for name in CLUSTERS:
+            profile = get_cluster(name)
+            assert profile.name == name
+            assert profile.description
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown cluster"):
+            get_cluster("infiniband")
+
+
+class TestProfiles:
+    def test_fe_topology_spreads_over_edges(self):
+        topo = fast_ethernet().topology(24)
+        switches = {host.switch for host in topo.hosts}
+        assert len(switches) == 2  # 20 per edge -> 2 edges for 24 hosts
+
+    def test_gige_single_switch_with_backplane(self):
+        topo = gigabit_ethernet().topology(8)
+        assert len(topo.switches) == 1
+        assert topo.switches[0].has_backplane
+
+    def test_myrinet_is_lossless_serial(self):
+        profile = myrinet()
+        assert profile.loss is None
+        assert profile.transport.sender_concurrency == 1
+        assert profile.transport.mux_overhead == 0.0
+
+    def test_ethernet_profiles_are_tcp_like(self):
+        for factory in (fast_ethernet, gigabit_ethernet):
+            profile = factory()
+            assert profile.loss is not None and profile.loss.enabled
+            assert profile.transport.sender_concurrency is None
+            assert profile.transport.mux_overhead > 0
+
+    def test_paper_signatures_recorded(self):
+        assert fast_ethernet().paper.gamma == pytest.approx(1.0195)
+        assert gigabit_ethernet().paper.gamma == pytest.approx(4.3628)
+        assert myrinet().paper.gamma == pytest.approx(2.49754)
+
+    def test_max_hosts_enforced(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            myrinet().topology(500)
+
+    def test_runtime_builder(self):
+        runtime = gigabit_ethernet().runtime(4, seed=1)
+        assert runtime.nprocs == 4
+
+    def test_with_overrides(self):
+        derived = myrinet().with_overrides(start_skew_scale=0.0)
+        assert derived.start_skew_scale == 0.0
+        assert myrinet().start_skew_scale > 0  # original untouched
+
+    def test_nic_bandwidth_ordering(self):
+        # Myrinet > GigE > FE, as in the paper's hardware.
+        def nic(profile):
+            topo = profile.topology(2)
+            return topo.links[topo.hosts[0].tx_link].capacity
+
+        assert nic(myrinet()) > nic(gigabit_ethernet()) > nic(fast_ethernet())

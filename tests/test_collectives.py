@@ -1,0 +1,133 @@
+"""Unit tests for the All-to-All algorithms."""
+
+import pytest
+
+from repro.simmpi.collectives import (
+    ALGORITHMS,
+    alltoall_bruck,
+    alltoall_direct,
+    alltoall_ring,
+    alltoall_rounds,
+)
+from repro.simmpi.runtime import Runtime
+from repro.simmpi.transport import TransportParams
+from repro.simnet.topology import single_switch
+from repro.simnet.trace import Trace
+
+
+def run_algorithm(program, n=4, msg_size=10_000, nic=100e6, trace=None, **tp):
+    defaults = dict(
+        name="t", base_latency=10e-6, eager_threshold=65_536,
+        envelope_bytes=0, mss=10**9, per_segment_wire_bytes=0,
+        per_message_send_overhead=0.0, ctrl_overhead=0.0, jitter_scale=0.0,
+    )
+    defaults.update(tp)
+    topo = single_switch(n, nic_bandwidth=nic)
+    runtime = Runtime(
+        topo, TransportParams(**defaults), nprocs=n, seed=0, trace=trace
+    )
+    return runtime.run(program, msg_size)
+
+
+class TestCompletion:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 8])
+    def test_all_algorithms_complete(self, name, n):
+        result = run_algorithm(ALGORITHMS[name], n=n, msg_size=5_000)
+        assert result.duration > 0
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_single_rank_trivial(self, name):
+        result = run_algorithm(ALGORITHMS[name], n=1)
+        assert result.duration == 0.0
+        assert result.flows_completed == 0
+
+
+class TestTrafficAccounting:
+    def test_direct_sends_n_minus_1_squared_messages(self):
+        trace = Trace()
+        n = 5
+        run_algorithm(alltoall_direct, n=n, trace=trace)
+        sends = [
+            r for r in trace.by_category("mpi.isend")
+            if r["src"] != r["dst"]
+        ]
+        assert len(sends) == n * (n - 1)
+
+    def test_rounds_same_message_count_as_direct(self):
+        trace = Trace()
+        n = 5
+        run_algorithm(alltoall_rounds, n=n, trace=trace)
+        sends = trace.by_category("mpi.isend")
+        assert len(sends) == n * (n - 1)
+
+    def test_bruck_log_rounds(self):
+        trace = Trace()
+        n = 8
+        run_algorithm(alltoall_bruck, n=n, trace=trace)
+        sends = trace.by_category("mpi.isend")
+        assert len(sends) == n * 3  # log2(8) rounds
+
+    def test_bruck_total_bytes_exceed_direct(self):
+        # Bruck trades bandwidth for start-ups: total bytes moved is
+        # m·n·ceil(log n)·~n/2 > m·n·(n-1) for small m... compare per rank.
+        n, m = 8, 1_000
+        trace_b = Trace()
+        run_algorithm(alltoall_bruck, n=n, msg_size=m, trace=trace_b)
+        bytes_bruck = sum(r["nbytes"] for r in trace_b.by_category("mpi.isend"))
+        trace_d = Trace()
+        run_algorithm(alltoall_direct, n=n, msg_size=m, trace=trace_d)
+        bytes_direct = sum(
+            r["nbytes"] for r in trace_d.by_category("mpi.isend")
+            if r["src"] != r["dst"]
+        )
+        assert bytes_bruck > bytes_direct
+
+    def test_ring_total_bytes_match_formula(self):
+        n, m = 6, 1_000
+        trace = Trace()
+        run_algorithm(alltoall_ring, n=n, msg_size=m, trace=trace)
+        total = sum(r["nbytes"] for r in trace.by_category("mpi.isend"))
+        # Each rank forwards (n-s)·m at step s: total n·m·n(n-1)/2... per
+        # rank sum_{s=1}^{n-1}(n-s)·m = m·n(n-1)/2.
+        assert total == n * m * n * (n - 1) // 2
+
+    def test_bruck_block_counts_cover_all_offsets(self):
+        # Sum over rounds of blocks sent equals total blocks n-1 per rank
+        # ... in Bruck each offset j is sent once per set bit of j.
+        n = 6
+        total_blocks = 0
+        k = 0
+        while (1 << k) < n:
+            total_blocks += sum(1 for j in range(1, n) if (j >> k) & 1)
+            k += 1
+        expected = sum(bin(j).count("1") for j in range(1, n))
+        assert total_blocks == expected
+
+
+class TestRelativePerformance:
+    def test_bruck_beats_direct_for_tiny_messages(self):
+        # Latency-dominated regime: fewer start-ups win.
+        n, m = 8, 64
+        t_bruck = run_algorithm(
+            alltoall_bruck, n=n, msg_size=m, base_latency=5e-3
+        ).duration
+        t_direct = run_algorithm(
+            alltoall_rounds, n=n, msg_size=m, base_latency=5e-3
+        ).duration
+        assert t_bruck < t_direct
+
+    def test_direct_beats_ring_for_large_messages(self):
+        # Bandwidth-dominated regime: store-and-forward loses (§4).
+        n, m = 8, 2_000_000
+        t_direct = run_algorithm(alltoall_direct, n=n, msg_size=m).duration
+        t_ring = run_algorithm(alltoall_ring, n=n, msg_size=m).duration
+        assert t_direct < t_ring
+
+    def test_direct_close_to_bandwidth_bound_on_clean_network(self):
+        # On an ideal switch with no overheads, direct exchange should
+        # approach (n-1)·m/NIC.
+        n, m, nic = 6, 1_000_000, 100e6
+        t = run_algorithm(alltoall_direct, n=n, msg_size=m, nic=nic).duration
+        bound = (n - 1) * m / nic
+        assert t == pytest.approx(bound, rel=0.05)

@@ -1,0 +1,133 @@
+"""Unit tests for the discrete-event kernel."""
+
+import math
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simnet.engine import Engine
+
+
+class TestScheduling:
+    def test_runs_single_event(self, engine):
+        fired = []
+        engine.schedule(1.5, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [1.5]
+
+    def test_clock_starts_at_zero(self, engine):
+        assert engine.now == 0.0
+
+    def test_events_fire_in_time_order(self, engine):
+        order = []
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(3.0, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_tie_break_at_equal_times(self, engine):
+        order = []
+        for tag in range(5):
+            engine.schedule(1.0, lambda t=tag: order.append(t))
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_orders_same_timestamp(self, engine):
+        order = []
+        engine.schedule(1.0, lambda: order.append("late"), priority=10)
+        engine.schedule(1.0, lambda: order.append("early"), priority=-10)
+        engine.run()
+        assert order == ["early", "late"]
+
+    def test_schedule_after_uses_relative_delay(self, engine):
+        seen = []
+        engine.schedule(1.0, lambda: engine.schedule_after(0.5, lambda: seen.append(engine.now)))
+        engine.run()
+        assert seen == [1.5]
+
+    def test_schedule_into_past_raises(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule(0.5, lambda: None)
+
+    def test_negative_delay_raises(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-1.0, lambda: None)
+
+    def test_non_finite_time_raises(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule(math.nan, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.schedule(math.inf, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, engine):
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self, engine):
+        handle = engine.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        engine.run()
+
+    def test_other_events_survive_cancellation(self, engine):
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("a"))
+        victim = engine.schedule(1.0, lambda: fired.append("b"))
+        engine.schedule(1.0, lambda: fired.append("c"))
+        victim.cancel()
+        engine.run()
+        assert fired == ["a", "c"]
+
+
+class TestRunControl:
+    def test_run_until_stops_before_future_events(self, engine):
+        fired = []
+        engine.schedule(5.0, lambda: fired.append(1))
+        engine.run(until=2.0)
+        assert fired == []
+        assert engine.now == 2.0
+        engine.run()
+        assert fired == [1]
+
+    def test_step_returns_false_when_empty(self, engine):
+        assert engine.step() is False
+
+    def test_events_processed_counter(self, engine):
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, lambda: None)
+        engine.run()
+        assert engine.events_processed == 3
+
+    def test_max_events_guard(self, engine):
+        def reschedule():
+            engine.schedule_after(1.0, reschedule)
+
+        engine.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError, match="max_events"):
+            engine.run(max_events=10)
+
+    def test_peek_time_skips_cancelled(self, engine):
+        victim = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        victim.cancel()
+        assert engine.peek_time() == 2.0
+
+    def test_nested_scheduling_during_event(self, engine):
+        seen = []
+
+        def outer():
+            engine.schedule(engine.now, lambda: seen.append("inner"))
+            seen.append("outer")
+
+        engine.schedule(1.0, outer)
+        engine.run()
+        assert seen == ["outer", "inner"]

@@ -1,0 +1,75 @@
+"""Unit tests for error metrics and the predictor façade."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    mae,
+    mean_absolute_percentage_error,
+    relative_error_percent,
+    rmse,
+)
+from repro.core.hockney import HockneyParams
+from repro.core.predictor import AlltoallPredictor
+from repro.core.signature import AlltoallSample, ContentionSignature
+
+HOCKNEY = HockneyParams(alpha=50e-6, beta=8.5e-9)
+
+
+class TestErrors:
+    def test_relative_error_sign_convention(self):
+        # measured < estimated -> negative (model over-predicts).
+        assert relative_error_percent(0.5, 1.0) == pytest.approx(-50.0)
+        assert relative_error_percent(2.0, 1.0) == pytest.approx(100.0)
+
+    def test_relative_error_vectorised(self):
+        err = relative_error_percent([1.0, 2.0], [2.0, 2.0])
+        assert err == pytest.approx([-50.0, 0.0])
+
+    def test_zero_estimate_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error_percent(1.0, 0.0)
+
+    def test_mape(self):
+        assert mean_absolute_percentage_error(
+            [0.5, 2.0], [1.0, 1.0]
+        ) == pytest.approx(75.0)
+
+    def test_mae_rmse(self):
+        measured = np.array([1.0, 2.0, 3.0])
+        estimated = np.array([1.5, 2.0, 2.0])
+        assert mae(measured, estimated) == pytest.approx(0.5)
+        assert rmse(measured, estimated) == pytest.approx(
+            np.sqrt((0.25 + 0 + 1.0) / 3)
+        )
+
+
+class TestPredictor:
+    SIG = ContentionSignature(
+        gamma=4.36, delta=4.9e-3, threshold=8192, hockney=HOCKNEY
+    )
+
+    def test_predict_above_lower_bound(self):
+        p = AlltoallPredictor(signature=self.SIG)
+        assert p.predict(40, 1_048_576) > p.lower_bound(40, 1_048_576)
+
+    def test_grid_shape_and_monotonicity(self):
+        p = AlltoallPredictor(signature=self.SIG)
+        grid = p.predict_grid([4, 8, 16], [1e3, 1e5, 1e6])
+        assert grid.shape == (3, 3)
+        assert np.all(np.diff(grid, axis=0) > 0)  # grows with n
+        assert np.all(np.diff(grid, axis=1) > 0)  # grows with m
+
+    def test_error_against_samples(self):
+        p = AlltoallPredictor(signature=self.SIG)
+        perfect = AlltoallSample(
+            n_processes=10,
+            msg_size=65536,
+            mean_time=float(p.predict(10, 65536)),
+        )
+        [(sample, err)] = p.error_against([perfect])
+        assert err == pytest.approx(0.0, abs=1e-9)
+
+    def test_hockney_passthrough(self):
+        p = AlltoallPredictor(signature=self.SIG)
+        assert p.hockney is HOCKNEY

@@ -1,0 +1,61 @@
+"""Smoke + structural tests for the per-figure experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS, SCALES, run_experiment
+from repro.experiments.common import ExperimentResult, resolve_scale
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        expected = {f"fig{i:02d}" for i in range(2, 15)} | {"tableS"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_scales_known(self):
+        assert {"smoke", "bench", "default", "full"} <= set(SCALES)
+        with pytest.raises(ValueError):
+            resolve_scale("giant")
+
+
+@pytest.mark.slow
+class TestSmokeRuns:
+    """Every experiment must run end-to-end at smoke scale."""
+
+    @pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
+    def test_experiment_runs_and_renders(self, exp_id, tmp_path):
+        result = run_experiment(exp_id, scale="smoke", seed=0)
+        assert isinstance(result, ExperimentResult)
+        assert result.exp_id == exp_id
+        rendered = result.render()
+        assert result.paper_ref in rendered
+        # Tabular round trip.
+        fieldnames, rows = result.to_rows()
+        assert fieldnames and rows
+        result.save_csv(tmp_path / f"{exp_id}.csv")
+        assert (tmp_path / f"{exp_id}.csv").exists()
+
+
+class TestShapes:
+    def test_fig02_smoke_series_monotone_x(self):
+        result = run_experiment("fig02", scale="smoke", seed=0)
+        ks, bw = result.series["Average bandwidth"]
+        assert np.all(np.diff(ks) > 0)
+        assert np.all(bw > 0)
+
+    def test_fig06_prediction_between_bound_and_far_above(self):
+        result = run_experiment("fig06", scale="smoke", seed=0)
+        m, bound = result.series["Lower bound"]
+        _, predicted = result.series["Prediction"]
+        assert np.all(predicted >= bound * 0.9)
+
+    def test_results_are_deterministic(self):
+        a = run_experiment("fig02", scale="smoke", seed=3)
+        b = run_experiment("fig02", scale="smoke", seed=3)
+        np.testing.assert_array_equal(
+            a.series["Average bandwidth"][1], b.series["Average bandwidth"][1]
+        )

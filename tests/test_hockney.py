@@ -1,0 +1,63 @@
+"""Unit tests for the Hockney transmission model."""
+
+import numpy as np
+import pytest
+
+from repro.core.hockney import HockneyParams, fit_hockney
+from repro.exceptions import FittingError
+
+
+class TestParams:
+    def test_p2p_time_scalar(self):
+        params = HockneyParams(alpha=1e-4, beta=1e-8)
+        assert params.p2p_time(1_000_000) == pytest.approx(0.0101)
+
+    def test_p2p_time_vectorised(self):
+        params = HockneyParams(alpha=0.0, beta=1e-6)
+        times = params.p2p_time(np.array([1, 2, 4]))
+        assert times == pytest.approx([1e-6, 2e-6, 4e-6])
+
+    def test_bandwidth_inverse_of_beta(self):
+        params = HockneyParams(alpha=0.0, beta=1e-8)
+        assert params.bandwidth == pytest.approx(1e8)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            HockneyParams(alpha=-1e-6, beta=1e-8)
+
+    def test_non_positive_beta_rejected(self):
+        with pytest.raises(ValueError):
+            HockneyParams(alpha=0.0, beta=0.0)
+
+    def test_str_contains_bandwidth(self):
+        text = str(HockneyParams(alpha=50e-6, beta=1e-8))
+        assert "100.0 MB/s" in text
+
+
+class TestFit:
+    def test_recovers_synthetic_parameters(self):
+        sizes = np.array([1e3, 1e4, 1e5, 1e6])
+        times = 5e-5 + sizes * 2e-9
+        fit = fit_hockney(sizes, times)
+        assert fit.params.alpha == pytest.approx(5e-5, rel=1e-6)
+        assert fit.params.beta == pytest.approx(2e-9, rel=1e-6)
+
+    def test_negative_intercept_clamped(self):
+        sizes = np.array([1e5, 2e5, 4e5, 8e5])
+        times = -1e-4 + sizes * 1e-8  # nonsense negative start-up
+        fit = fit_hockney(sizes, times)
+        assert fit.params.alpha == 0.0
+
+    def test_non_positive_slope_rejected(self):
+        sizes = np.array([1e3, 1e4, 1e5])
+        times = np.array([3.0, 2.0, 1.0])
+        with pytest.raises(FittingError, match="beta"):
+            fit_hockney(sizes, times)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(FittingError):
+            fit_hockney([1.0], [1.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(FittingError):
+            fit_hockney([1.0, 2.0], [1.0])

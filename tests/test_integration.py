@@ -1,0 +1,151 @@
+"""Integration tests: the full paper pipeline on small virtual clusters."""
+
+import numpy as np
+import pytest
+
+from repro.clusters.profiles import gigabit_ethernet, myrinet
+from repro.core.errors import relative_error_percent
+from repro.measure import characterize_cluster, measure_alltoall
+from repro.simmpi.collectives import alltoall_direct
+from repro.simnet.trace import Trace
+
+
+class TestCharacterizationPipeline:
+    def test_end_to_end_gige(self, gige_cluster):
+        # n=12 sits at the saturation knee (12 NICs ~ backplane), so the
+        # fitted gamma must already exceed 1.
+        ch = characterize_cluster(
+            gige_cluster,
+            sample_nprocs=12,
+            sample_sizes=(65_536, 131_072, 262_144, 524_288, 1_048_576),
+            reps=1,
+            pingpong_reps=1,
+            seed=0,
+        )
+        assert ch.signature.gamma > 1.0
+        # Prediction at an unseen size interpolates sanely.
+        t_mid = float(ch.predictor.predict(8, 393_216))
+        t_lo = float(ch.predictor.predict(8, 262_144))
+        t_hi = float(ch.predictor.predict(8, 524_288))
+        assert t_lo < t_mid < t_hi
+
+    def test_signature_portable_across_n(self, gige_cluster):
+        # Fit at n'=12, evaluate at n=16: error must be far better than
+        # the contention-free bound's error.
+        ch = characterize_cluster(
+            gige_cluster,
+            sample_nprocs=12,
+            sample_sizes=(131_072, 262_144, 524_288, 1_048_576),
+            reps=1,
+            pingpong_reps=1,
+            seed=1,
+        )
+        probe = measure_alltoall(gige_cluster, 16, 524_288, reps=1, seed=2)
+        pred_err = abs(
+            relative_error_percent(
+                probe.mean_time, float(ch.predictor.predict(16, 524_288))
+            )
+        )
+        bound_err = abs(
+            relative_error_percent(
+                probe.mean_time, float(ch.predictor.lower_bound(16, 524_288))
+            )
+        )
+        assert pred_err < bound_err
+
+    def test_myrinet_delta_is_pruned(self, myrinet_cluster):
+        ch = characterize_cluster(
+            myrinet_cluster,
+            sample_nprocs=12,
+            sample_sizes=(131_072, 262_144, 524_288, 1_048_576),
+            reps=2,
+            pingpong_reps=1,
+            seed=0,
+        )
+        # The gm stack has no kernel demux: delta must be ~0 (paper §8.3).
+        assert ch.signature.delta < 2e-3
+
+
+class TestSimulationInvariants:
+    def test_alltoall_trace_consistency(self, gige_cluster):
+        trace = Trace()
+        runtime = gige_cluster.runtime(6, seed=0, trace=trace)
+        runtime.run(alltoall_direct, 65_536)
+        n = 6
+        sends = [
+            r for r in trace.by_category("mpi.isend") if r["src"] != r["dst"]
+        ]
+        recvs = trace.by_category("mpi.recv_complete")
+        assert len(sends) == n * (n - 1)
+        # Every posted receive completed exactly once.
+        assert len(recvs) == n * (n - 1)
+        # Per-pair delivery matches per-pair sends.
+        sent_pairs = sorted((r["src"], r["dst"]) for r in sends)
+        recv_pairs = sorted((r["src"], r["rank"]) for r in recvs)
+        assert sent_pairs == recv_pairs
+
+    def test_completion_time_bounded_below_by_proposition1(self, gige_cluster):
+        from repro.core.bounds import alltoall_lower_bound
+        from repro.core.hockney import HockneyParams
+
+        n, m = 8, 524_288
+        result = gige_cluster.runtime(n, seed=0).run(alltoall_direct, m)
+        # Bound with the *physical* NIC parameters (no framing): the
+        # simulation can never beat physics.
+        nic = gige_cluster.topology(2).links[0].capacity
+        physical = HockneyParams(alpha=0.0, beta=1.0 / nic)
+        assert result.duration >= alltoall_lower_bound(n, m, physical)
+
+    def test_contention_ordering_across_networks(
+        self, gige_cluster, fe_cluster, myrinet_cluster
+    ):
+        """The paper's headline: gamma_gige > gamma_myrinet > gamma_fe.
+
+        The ordering holds once the fabrics are saturated (n = 24 is the
+        paper's FE/Myrinet sample size; GigE saturates above ~12).
+        """
+        n, m = 24, 262_144
+        ratios = {}
+        for cluster in (gige_cluster, fe_cluster, myrinet_cluster):
+            topo = cluster.topology(2)
+            nic = topo.links[topo.hosts[0].tx_link].capacity
+            sample = measure_alltoall(cluster, n, m, reps=2, seed=4)
+            ideal = (n - 1) * m / nic
+            ratios[cluster.name] = sample.mean_time / ideal
+        assert (
+            ratios["gigabit-ethernet"]
+            > ratios["myrinet"]
+            > ratios["fast-ethernet"] * 0.9
+        )
+
+    def test_seeded_runs_bitwise_reproducible(self, myrinet_cluster):
+        a = myrinet_cluster.runtime(8, seed=11).run(alltoall_direct, 131_072)
+        b = myrinet_cluster.runtime(8, seed=11).run(alltoall_direct, 131_072)
+        assert a.duration == b.duration
+        assert a.rank_finish_times == b.rank_finish_times
+
+
+@pytest.mark.slow
+class TestPaperScaleSignatures:
+    def test_gige_gamma_band_at_moderate_scale(self, gige_cluster):
+        # At n=24 (below the paper's 40) gamma is already well above 1.
+        ch = characterize_cluster(
+            gige_cluster,
+            sample_nprocs=24,
+            sample_sizes=(131_072, 262_144, 524_288, 1_048_576),
+            reps=1,
+            pingpong_reps=1,
+            seed=0,
+        )
+        assert 1.5 < ch.signature.gamma < 8.0
+
+    def test_myrinet_gamma_band(self, myrinet_cluster):
+        ch = characterize_cluster(
+            myrinet_cluster,
+            sample_nprocs=24,
+            sample_sizes=(131_072, 262_144, 524_288, 1_048_576),
+            reps=2,
+            pingpong_reps=1,
+            seed=0,
+        )
+        assert 1.5 < ch.signature.gamma < 4.0

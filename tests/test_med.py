@@ -1,0 +1,150 @@
+"""Unit + property tests for the message exchange digraph and bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    alltoall_lower_bound,
+    bandwidth_lower_bound,
+    combined_lower_bound,
+    min_startups,
+    naive_model,
+)
+from repro.core.hockney import HockneyParams
+from repro.core.med import MED
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-8)
+
+
+class TestMedConstruction:
+    def test_alltoall_complete_digraph(self):
+        med = MED.alltoall(4, 100)
+        assert med.n_processes == 4
+        assert med.n_messages == 12
+        assert med.weight(0, 1) == 100
+        assert med.weight(0, 0) == 0
+
+    def test_self_message_rejected(self):
+        med = MED(3)
+        with pytest.raises(ValueError):
+            med.add_message(1, 1, 10)
+
+    def test_weights_accumulate(self):
+        med = MED(2)
+        med.add_message(0, 1, 10)
+        med.add_message(0, 1, 5)
+        assert med.weight(0, 1) == 15
+
+    def test_from_matrix_roundtrip(self):
+        W = np.array([[0, 5, 0], [2, 0, 9], [0, 0, 0]])
+        med = MED.from_matrix(W)
+        assert np.array_equal(med.to_matrix(), W)
+
+    def test_from_matrix_requires_square(self):
+        with pytest.raises(ValueError):
+            MED.from_matrix(np.zeros((2, 3)))
+
+    def test_is_regular_alltoall(self):
+        assert MED.alltoall(5, 64).is_regular_alltoall()
+        irregular = MED(3)
+        irregular.add_message(0, 1, 10)
+        assert not irregular.is_regular_alltoall()
+
+
+class TestDegreesAndBytes:
+    def test_alltoall_degrees(self):
+        med = MED.alltoall(6, 10)
+        assert med.max_out_degree == 5
+        assert med.max_in_degree == 5
+        assert med.out_degree(0) == 5
+        assert med.in_degree(3) == 5
+
+    def test_send_recv_bytes(self):
+        med = MED.alltoall(4, 100)
+        assert med.send_bytes(0) == 300
+        assert med.recv_bytes(2) == 300
+        assert med.max_send_bytes == 300
+        assert med.max_recv_bytes == 300
+
+    def test_asymmetric_exchange(self):
+        med = MED(3)
+        med.add_message(0, 1, 100)
+        med.add_message(0, 2, 100)
+        med.add_message(1, 0, 7)
+        assert med.max_out_degree == 2
+        assert med.max_in_degree == 1
+        assert med.max_send_bytes == 200
+        assert med.max_recv_bytes == 100
+
+
+class TestBounds:
+    def test_claim1_startups(self):
+        assert min_startups(MED.alltoall(8, 1)) == 7
+
+    def test_claim2_bandwidth(self):
+        med = MED.alltoall(4, 1000)
+        assert bandwidth_lower_bound(med, PARAMS) == pytest.approx(
+            3000 * PARAMS.beta
+        )
+
+    def test_claim3_combines(self):
+        med = MED.alltoall(4, 1000)
+        expected = 3 * PARAMS.alpha + 3000 * PARAMS.beta
+        assert combined_lower_bound(med, PARAMS) == pytest.approx(expected)
+
+    def test_proposition1_matches_formula(self):
+        n, m = 24, 1_048_576
+        expected = (n - 1) * (PARAMS.alpha + m * PARAMS.beta)
+        assert alltoall_lower_bound(n, m, PARAMS) == pytest.approx(expected)
+
+    def test_proposition1_equals_claim3_for_regular_alltoall(self):
+        n, m = 7, 4096
+        med = MED.alltoall(n, m)
+        assert combined_lower_bound(med, PARAMS) == pytest.approx(
+            alltoall_lower_bound(n, m, PARAMS)
+        )
+
+    def test_naive_model_alias(self):
+        assert naive_model(10, 100, PARAMS) == alltoall_lower_bound(10, 100, PARAMS)
+
+    def test_vectorised_over_m(self):
+        sizes = np.array([1, 10, 100])
+        bounds = alltoall_lower_bound(4, sizes, PARAMS)
+        assert bounds.shape == (3,)
+        assert np.all(np.diff(bounds) > 0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            alltoall_lower_bound(0, 10, PARAMS)
+        with pytest.raises(ValueError):
+            alltoall_lower_bound(4, -1, PARAMS)
+
+
+class TestBoundProperties:
+    @given(
+        n=st.integers(min_value=2, max_value=32),
+        m=st.integers(min_value=1, max_value=10**7),
+    )
+    def test_prop1_consistency_with_med(self, n, m):
+        med = MED.alltoall(n, m)
+        assert combined_lower_bound(med, PARAMS) == pytest.approx(
+            alltoall_lower_bound(n, m, PARAMS), rel=1e-12
+        )
+
+    @given(
+        n=st.integers(min_value=2, max_value=32),
+        m=st.integers(min_value=1, max_value=10**6),
+    )
+    def test_bound_monotone_in_n_and_m(self, n, m):
+        assert alltoall_lower_bound(n + 1, m, PARAMS) > alltoall_lower_bound(
+            n, m, PARAMS
+        )
+        assert alltoall_lower_bound(n, m + 1, PARAMS) > alltoall_lower_bound(
+            n, m, PARAMS
+        )
+
+    @given(st.integers(min_value=2, max_value=24))
+    def test_startups_match_degree_for_alltoall(self, n):
+        assert min_startups(MED.alltoall(n, 1)) == n - 1

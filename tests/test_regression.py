@@ -1,0 +1,128 @@
+"""Unit + property tests for OLS/WLS/GLS regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.regression import feasible_gls, fit_linear, gls, ols, wls
+from repro.exceptions import FittingError
+
+
+def linear_data(coeffs, n=12, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.column_stack(
+        [np.ones(n)] + [rng.uniform(1, 100, n) for _ in coeffs[1:]]
+    )
+    y = X @ np.asarray(coeffs) + noise * rng.standard_normal(n)
+    return X, y
+
+
+class TestOls:
+    def test_recovers_exact_line(self):
+        X, y = linear_data([2.0, 3.0])
+        fit = ols(X, y)
+        assert fit.params == pytest.approx([2.0, 3.0], rel=1e-9)
+        assert fit.rss == pytest.approx(0.0, abs=1e-12)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_residuals_shape(self):
+        X, y = linear_data([1.0, 0.5], noise=0.1)
+        fit = ols(X, y)
+        assert fit.residuals.shape == y.shape
+
+    def test_underdetermined_rejected(self):
+        with pytest.raises(FittingError):
+            ols(np.ones((1, 2)), np.array([1.0]))
+
+    def test_rank_deficient_rejected(self):
+        X = np.column_stack([np.ones(5), np.ones(5)])
+        with pytest.raises(FittingError, match="rank"):
+            ols(X, np.arange(5.0))
+
+    def test_non_finite_rejected(self):
+        X, y = linear_data([1.0, 1.0])
+        y[0] = np.nan
+        with pytest.raises(FittingError):
+            ols(X, y)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(FittingError):
+            ols(np.ones((3, 1)), np.ones(4))
+
+    @given(
+        a=st.floats(-100, 100),
+        b=st.floats(-100, 100).filter(lambda v: abs(v) > 1e-3),
+    )
+    def test_property_exact_recovery(self, a, b):
+        X, y = linear_data([a, b])
+        fit = ols(X, y)
+        assert fit.params[0] == pytest.approx(a, rel=1e-6, abs=1e-6)
+        assert fit.params[1] == pytest.approx(b, rel=1e-6, abs=1e-6)
+
+
+class TestWeighted:
+    def test_wls_downweights_noisy_samples(self):
+        X, y = linear_data([1.0, 2.0])
+        # Corrupt one sample heavily but give it huge variance.
+        y_bad = y.copy()
+        y_bad[0] += 100.0
+        variances = np.ones(len(y))
+        variances[0] = 1e8
+        fit = wls(X, y_bad, variances)
+        assert fit.params == pytest.approx([1.0, 2.0], rel=1e-3)
+
+    def test_wls_variance_validation(self):
+        X, y = linear_data([1.0, 2.0])
+        with pytest.raises(FittingError):
+            wls(X, y, -np.ones(len(y)))
+        with pytest.raises(FittingError):
+            wls(X, y, np.ones(3))
+
+    def test_zero_variances_floored_not_crashing(self):
+        X, y = linear_data([1.0, 2.0])
+        fit = wls(X, y, np.zeros(len(y)))
+        assert np.all(np.isfinite(fit.params))
+
+    def test_gls_same_estimate_as_wls(self):
+        X, y = linear_data([1.0, 2.0], noise=0.5)
+        variances = np.linspace(1, 3, len(y))
+        assert gls(X, y, variances).params == pytest.approx(
+            wls(X, y, variances).params
+        )
+        assert gls(X, y, variances).method == "gls"
+
+    def test_fgls_converges_on_multiplicative_noise(self):
+        rng = np.random.default_rng(42)
+        x = np.linspace(10, 1000, 40)
+        X = np.column_stack([np.ones_like(x), x])
+        truth = X @ np.array([5.0, 0.8])
+        y = truth * (1 + 0.05 * rng.standard_normal(len(x)))
+        fit = feasible_gls(X, y)
+        assert fit.params[1] == pytest.approx(0.8, rel=0.05)
+        assert fit.method == "fgls"
+
+
+class TestDispatch:
+    def test_fit_linear_methods(self):
+        X, y = linear_data([1.0, 2.0], noise=0.1)
+        for method in ("ols", "fgls"):
+            assert fit_linear(X, y, method=method).params.shape == (2,)
+        var = np.ones(len(y))
+        assert fit_linear(X, y, method="gls", variances=var).method == "gls"
+        assert fit_linear(X, y, method="wls", variances=var).method == "wls"
+
+    def test_gls_without_variances_falls_back_to_fgls(self):
+        X, y = linear_data([1.0, 2.0], noise=0.1)
+        assert fit_linear(X, y, method="gls").method == "fgls"
+
+    def test_unknown_method_rejected(self):
+        X, y = linear_data([1.0, 2.0])
+        with pytest.raises(FittingError, match="unknown"):
+            fit_linear(X, y, method="magic")
+
+    def test_predict_on_new_rows(self):
+        X, y = linear_data([2.0, 3.0])
+        fit = ols(X, y)
+        X_new = np.array([[1.0, 10.0]])
+        assert fit.predict(X_new)[0] == pytest.approx(32.0, rel=1e-9)

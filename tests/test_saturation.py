@@ -1,0 +1,99 @@
+"""Unit tests for the saturation-aware signature (paper future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.hockney import HockneyParams
+from repro.core.saturation import SaturatedSignature, SaturationRamp, fit_knee
+from repro.core.signature import ContentionSignature
+from repro.exceptions import FittingError
+
+HOCKNEY = HockneyParams(alpha=50e-6, beta=8.5e-9)
+BASE = ContentionSignature(
+    gamma=4.36, delta=4.9e-3, threshold=8192, hockney=HOCKNEY
+)
+
+
+class TestRamp:
+    def test_zero_below_free(self):
+        ramp = SaturationRamp(n_free=2, n_sat=10)
+        assert ramp(2) == 0.0
+        assert ramp(1) == 0.0
+
+    def test_one_above_sat(self):
+        ramp = SaturationRamp(n_free=2, n_sat=10)
+        assert ramp(10) == 1.0
+        assert ramp(50) == 1.0
+
+    def test_linear_midpoint(self):
+        ramp = SaturationRamp(n_free=2, n_sat=10, power=1.0)
+        assert ramp(6) == pytest.approx(0.5)
+
+    def test_power_shapes_ramp(self):
+        soft = SaturationRamp(n_free=2, n_sat=10, power=2.0)
+        assert soft(6) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SaturationRamp(n_free=10, n_sat=10)
+        with pytest.raises(ValueError):
+            SaturationRamp(power=0.0)
+
+    @given(st.floats(min_value=1.0, max_value=100.0))
+    def test_ramp_bounded(self, n):
+        ramp = SaturationRamp(n_free=2, n_sat=20)
+        assert 0.0 <= float(ramp(n)) <= 1.0
+
+
+class TestSaturatedSignature:
+    MODEL = SaturatedSignature(
+        base=BASE, ramp=SaturationRamp(n_free=2, n_sat=12)
+    )
+
+    def test_unsaturated_equals_lower_bound_plus_delta(self):
+        n, m = 2, 65536
+        expected = BASE.lower_bound(n, m) + BASE.delta * (n - 1)
+        assert self.MODEL.predict(n, m) == pytest.approx(float(expected))
+
+    def test_saturated_equals_plain_signature(self):
+        n, m = 40, 1_048_576
+        assert self.MODEL.predict(n, m) == pytest.approx(
+            float(BASE.predict(n, m))
+        )
+
+    def test_gamma_effective_monotone(self):
+        ns = np.arange(2, 30)
+        gammas = self.MODEL.gamma_effective(ns)
+        assert np.all(np.diff(gammas) >= 0)
+        assert gammas[0] == pytest.approx(1.0)
+        assert gammas[-1] == pytest.approx(BASE.gamma)
+
+    def test_improves_small_n_error_against_synthetic_truth(self):
+        # Ground truth: a network whose true contention follows a ramp.
+        truth = SaturatedSignature(
+            base=BASE, ramp=SaturationRamp(n_free=2, n_sat=14)
+        )
+        n, m = 6, 262_144
+        measured = float(truth.predict(n, m))
+        plain_err = abs(measured - float(BASE.predict(n, m)))
+        ramped_err = abs(measured - float(self.MODEL.predict(n, m)))
+        assert ramped_err < plain_err
+
+
+class TestFitKnee:
+    def test_recovers_knee_from_error_curve(self):
+        truth = SaturatedSignature(
+            base=BASE, ramp=SaturationRamp(n_free=2, n_sat=15)
+        )
+        ns = np.arange(3, 41)
+        measured = np.array([float(truth.predict(n, 524_288)) for n in ns])
+        plain = np.array([float(BASE.predict(n, 524_288)) for n in ns])
+        errors = (measured / plain - 1.0) * 100.0
+        fitted = fit_knee(ns, errors, BASE)
+        assert fitted.ramp.n_sat == pytest.approx(15.0, abs=2.0)
+
+    def test_needs_three_points(self):
+        with pytest.raises(FittingError):
+            fit_knee([4, 8], [-50.0, -20.0], BASE)

@@ -1,0 +1,195 @@
+"""Unit + property tests for the contention signature model (§7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.hockney import HockneyParams
+from repro.core.bounds import alltoall_lower_bound
+from repro.core.signature import (
+    AlltoallSample,
+    ContentionSignature,
+    fit_signature,
+)
+from repro.exceptions import FittingError
+
+HOCKNEY = HockneyParams(alpha=50e-6, beta=8.5e-9)
+
+
+def synthetic_samples(gamma, delta, threshold, sizes, n=40, delta_mode="per_round"):
+    samples = []
+    for m in sizes:
+        lb = alltoall_lower_bound(n, m, HOCKNEY)
+        time = lb * gamma
+        if m >= threshold:
+            time += delta * (n - 1) if delta_mode == "per_round" else delta
+        samples.append(
+            AlltoallSample(n_processes=n, msg_size=m, mean_time=time,
+                           std_time=time * 0.01, reps=10)
+        )
+    return samples
+
+
+class TestSignaturePredict:
+    def test_below_threshold_pure_gamma(self):
+        sig = ContentionSignature(
+            gamma=2.0, delta=5e-3, threshold=8192, hockney=HOCKNEY
+        )
+        m = 1024
+        assert sig.predict(10, m) == pytest.approx(
+            alltoall_lower_bound(10, m, HOCKNEY) * 2.0
+        )
+
+    def test_above_threshold_adds_per_round_delta(self):
+        sig = ContentionSignature(
+            gamma=2.0, delta=5e-3, threshold=8192, hockney=HOCKNEY
+        )
+        m = 65536
+        expected = alltoall_lower_bound(10, m, HOCKNEY) * 2.0 + 9 * 5e-3
+        assert sig.predict(10, m) == pytest.approx(expected)
+
+    def test_global_delta_mode(self):
+        sig = ContentionSignature(
+            gamma=2.0, delta=5e-3, threshold=8192, hockney=HOCKNEY,
+            delta_mode="global",
+        )
+        m = 65536
+        expected = alltoall_lower_bound(10, m, HOCKNEY) * 2.0 + 5e-3
+        assert sig.predict(10, m) == pytest.approx(expected)
+
+    def test_vectorised_grid(self):
+        sig = ContentionSignature(
+            gamma=1.5, delta=0.0, threshold=0, hockney=HOCKNEY
+        )
+        n = np.array([[4.0], [8.0]])
+        m = np.array([[1e3, 1e6]])
+        assert sig.predict(n, m).shape == (2, 2)
+
+    def test_lower_bound_is_gamma_one(self):
+        sig = ContentionSignature(
+            gamma=3.0, delta=1e-3, threshold=1024, hockney=HOCKNEY
+        )
+        assert sig.lower_bound(10, 4096) == pytest.approx(
+            alltoall_lower_bound(10, 4096, HOCKNEY)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContentionSignature(gamma=0.0, delta=0.0, threshold=0, hockney=HOCKNEY)
+        with pytest.raises(ValueError):
+            ContentionSignature(gamma=1.0, delta=-1.0, threshold=0, hockney=HOCKNEY)
+        with pytest.raises(ValueError):
+            ContentionSignature(
+                gamma=1.0, delta=0.0, threshold=0, hockney=HOCKNEY,
+                delta_mode="banana",
+            )
+
+
+class TestFitting:
+    SIZES = [2048, 8192, 65536, 262144, 1048576]
+
+    def test_recovers_synthetic_signature(self):
+        samples = synthetic_samples(4.36, 4.93e-3, 8192, self.SIZES)
+        fit = fit_signature(samples, HOCKNEY)
+        assert fit.signature.gamma == pytest.approx(4.36, rel=1e-6)
+        assert fit.signature.delta == pytest.approx(4.93e-3, rel=1e-6)
+        assert fit.signature.threshold == 8192
+
+    def test_explicit_threshold(self):
+        samples = synthetic_samples(2.0, 3e-3, 8192, self.SIZES)
+        fit = fit_signature(samples, HOCKNEY, threshold=8192)
+        assert fit.signature.gamma == pytest.approx(2.0, rel=1e-6)
+
+    def test_zero_delta_pruned(self):
+        samples = synthetic_samples(2.5, 0.0, 10**9, self.SIZES)
+        fit = fit_signature(samples, HOCKNEY)
+        assert fit.signature.delta == 0.0
+        assert fit.signature.threshold == 0
+
+    def test_global_delta_mode_fit(self):
+        samples = synthetic_samples(
+            3.0, 0.25, 8192, self.SIZES, delta_mode="global"
+        )
+        fit = fit_signature(samples, HOCKNEY, delta_mode="global")
+        assert fit.signature.gamma == pytest.approx(3.0, rel=1e-4)
+        assert fit.signature.delta == pytest.approx(0.25, rel=1e-4)
+
+    def test_requires_four_points(self):
+        samples = synthetic_samples(2.0, 0.0, 10**9, [1024, 2048, 4096])
+        with pytest.raises(FittingError, match="four"):
+            fit_signature(samples, HOCKNEY)
+
+    def test_noise_tolerance(self, rng):
+        samples = []
+        for m in self.SIZES * 2:
+            lb = alltoall_lower_bound(40, m, HOCKNEY)
+            time = lb * 3.0 * (1 + 0.03 * rng.standard_normal())
+            samples.append(
+                AlltoallSample(40, m, float(time), std_time=float(time) * 0.03,
+                               reps=5)
+            )
+        fit = fit_signature(samples, HOCKNEY)
+        assert fit.signature.gamma == pytest.approx(3.0, rel=0.1)
+
+    def test_non_positive_gamma_rejected(self):
+        # Times that decrease with message size while the affine column
+        # soaks up the offset force the fitted slope gamma <= 0: not a
+        # transmission curve, must be rejected.
+        samples = [
+            AlltoallSample(4, m, 10.0 / (i + 1), reps=1)
+            for i, m in enumerate(self.SIZES)
+        ]
+        with pytest.raises(FittingError):
+            fit_signature(samples, HOCKNEY, threshold=self.SIZES[0])
+
+    def test_ols_method(self):
+        samples = synthetic_samples(2.0, 1e-3, 8192, self.SIZES)
+        fit = fit_signature(samples, HOCKNEY, method="ols")
+        assert fit.signature.gamma == pytest.approx(2.0, rel=1e-6)
+
+    def test_rss_by_threshold_recorded(self):
+        samples = synthetic_samples(2.0, 1e-3, 8192, self.SIZES)
+        fit = fit_signature(samples, HOCKNEY)
+        assert 8192 in fit.rss_by_threshold
+        assert fit.rss_by_threshold[8192] <= min(fit.rss_by_threshold.values()) + 1e-18
+
+
+class TestFitProperties:
+    @given(
+        gamma=st.floats(min_value=1.0, max_value=8.0),
+        delta_ms=st.floats(min_value=0.5, max_value=20.0),
+    )
+    def test_exact_recovery_over_parameter_space(self, gamma, delta_ms):
+        samples = synthetic_samples(
+            gamma, delta_ms * 1e-3, 8192, TestFitting.SIZES
+        )
+        fit = fit_signature(samples, HOCKNEY)
+        assert fit.signature.gamma == pytest.approx(gamma, rel=1e-5)
+        assert fit.signature.delta == pytest.approx(delta_ms * 1e-3, rel=1e-4)
+
+    @given(st.integers(min_value=3, max_value=48))
+    def test_prediction_scales_with_n(self, n):
+        sig = ContentionSignature(
+            gamma=2.0, delta=1e-3, threshold=0, hockney=HOCKNEY
+        )
+        # per_round delta: T(n) / (n-1) constant for fixed m.
+        per_round = sig.predict(n, 4096) / (n - 1)
+        per_round_next = sig.predict(n + 1, 4096) / n
+        assert per_round == pytest.approx(per_round_next, rel=1e-9)
+
+
+class TestSampleValidation:
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            AlltoallSample(1, 100, 1.0)
+        with pytest.raises(ValueError):
+            AlltoallSample(4, -1, 1.0)
+        with pytest.raises(ValueError):
+            AlltoallSample(4, 100, 0.0)
+
+    def test_variance_of_mean(self):
+        sample = AlltoallSample(4, 100, 1.0, std_time=0.2, reps=4)
+        assert sample.variance_of_mean == pytest.approx(0.01)
+        single = AlltoallSample(4, 100, 1.0, std_time=0.2, reps=1)
+        assert single.variance_of_mean == pytest.approx(0.04)

@@ -1,0 +1,97 @@
+"""Unit tests for the §6 two-β throughput model."""
+
+import numpy as np
+import pytest
+
+from repro.core.throughput import (
+    TwoBetaModel,
+    extract_two_beta,
+    two_beta_from_states,
+)
+from repro.exceptions import FittingError
+
+
+class TestModel:
+    def test_paper_numbers(self):
+        # The paper's exact blend: 8.502e-9 and 8.498189e-8 at rho 0.5
+        # give the synthetic 4.6742e-8 gap per byte (§6).
+        model = TwoBetaModel(
+            alpha=1e-4, beta_free=8.502e-9, beta_contended=8.498189e-8
+        )
+        assert model.beta_synthetic == pytest.approx(4.67419e-8, rel=1e-4)
+
+    def test_rho_extremes(self):
+        model_free = TwoBetaModel(1e-4, 1e-9, 1e-7, rho=0.0)
+        model_cont = TwoBetaModel(1e-4, 1e-9, 1e-7, rho=1.0)
+        assert model_free.beta_synthetic == pytest.approx(1e-9)
+        assert model_cont.beta_synthetic == pytest.approx(1e-7)
+
+    def test_predict_formula(self):
+        model = TwoBetaModel(1e-4, 1e-9, 3e-9, rho=0.5)
+        n, m = 40, 1_000_000
+        expected = 39 * (1e-4 + m * 2e-9)
+        assert model.predict(n, m) == pytest.approx(expected)
+
+    def test_predict_vectorised(self):
+        model = TwoBetaModel(1e-4, 1e-9, 3e-9)
+        out = model.predict(8, np.array([1e3, 1e6]))
+        assert out.shape == (2,)
+
+    def test_as_hockney(self):
+        model = TwoBetaModel(1e-4, 1e-9, 3e-9)
+        h = model.as_hockney()
+        assert h.alpha == 1e-4
+        assert h.beta == pytest.approx(model.beta_synthetic)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoBetaModel(1e-4, 1e-9, 1e-7, rho=1.5)
+        with pytest.raises(ValueError):
+            TwoBetaModel(1e-4, 0.0, 1e-7)
+
+
+class TestExtraction:
+    def test_two_state_split(self):
+        # 90 fast transfers at ~1 s, 10 slow at ~6 s over 32 MB.
+        times = np.concatenate([np.full(90, 1.0), np.full(10, 6.0)])
+        model = extract_two_beta(32e6, times, alpha=1e-4)
+        assert model.beta_free == pytest.approx(1.0 / 32e6, rel=1e-6)
+        assert model.beta_contended == pytest.approx(6.0 / 32e6, rel=1e-6)
+
+    def test_quantiles_configurable(self):
+        times = np.linspace(1.0, 2.0, 50)
+        model = extract_two_beta(
+            1e6, times, alpha=0.0, fast_quantile=0.5, slow_quantile=0.5
+        )
+        assert model.beta_free < model.beta_contended
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(FittingError):
+            extract_two_beta(1e6, [1.0, 2.0], alpha=0.0)
+
+    def test_positive_bytes_required(self):
+        with pytest.raises(FittingError):
+            extract_two_beta(0, [1.0] * 10, alpha=0.0)
+
+
+class TestTwoStateExtraction:
+    def test_states_kept_separate(self):
+        # One fast unloaded sample must not be polluted by 40 slow ones.
+        model = two_beta_from_states(
+            32e6, [0.30], np.full(40, 1.7), alpha=1e-4
+        )
+        assert model.beta_free == pytest.approx(0.30 / 32e6)
+        assert model.beta_contended == pytest.approx(1.7 / 32e6)
+
+    def test_slow_quantile_takes_tail(self):
+        contended = np.concatenate([np.full(9, 1.0), [3.0]])
+        model = two_beta_from_states(
+            1e6, [0.5], contended, alpha=0.0, slow_quantile=0.95
+        )
+        assert model.beta_contended == pytest.approx(3.0 / 1e6)
+
+    def test_empty_regime_rejected(self):
+        with pytest.raises(FittingError):
+            two_beta_from_states(1e6, [], [1.0], alpha=0.0)
+        with pytest.raises(FittingError):
+            two_beta_from_states(0, [1.0], [1.0], alpha=0.0)

@@ -1,0 +1,146 @@
+"""Unit tests for topologies, routing and entities."""
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.simnet.entities import Link, LinkKind
+from repro.simnet.topology import Topology, edge_core, single_switch
+
+
+class TestEntities:
+    def test_link_requires_positive_capacity(self):
+        with pytest.raises(ValueError):
+            Link(0, 0.0, LinkKind.TRUNK, "bad")
+
+    def test_link_is_frozen(self):
+        link = Link(0, 10.0, LinkKind.HOST_TX, "l")
+        with pytest.raises(AttributeError):
+            link.capacity = 5.0
+
+
+class TestSingleSwitch:
+    def test_counts(self):
+        topo = single_switch(4, nic_bandwidth=1e8)
+        assert topo.n_hosts == 4
+        assert len(topo.switches) == 1
+        # 2 NIC directions per host, no backplane.
+        assert topo.n_links == 8
+
+    def test_backplane_adds_shared_link(self):
+        topo = single_switch(4, nic_bandwidth=1e8, backplane_capacity=1e9)
+        assert topo.n_links == 9
+        assert topo.switches[0].has_backplane
+
+    def test_route_without_backplane(self):
+        topo = single_switch(3, nic_bandwidth=1e8)
+        route = topo.route(0, 2)
+        assert route == (topo.hosts[0].tx_link, topo.hosts[2].rx_link)
+
+    def test_route_with_backplane(self):
+        topo = single_switch(3, nic_bandwidth=1e8, backplane_capacity=1e9)
+        route = topo.route(0, 2)
+        assert len(route) == 3
+        assert topo.links[route[1]].kind is LinkKind.BACKPLANE
+
+    def test_self_route_is_empty(self):
+        topo = single_switch(3, nic_bandwidth=1e8)
+        assert topo.route(1, 1) == ()
+
+    def test_invalid_host_raises(self):
+        topo = single_switch(3, nic_bandwidth=1e8)
+        with pytest.raises(RoutingError):
+            topo.route(0, 99)
+
+    def test_capacities_align_with_links(self):
+        topo = single_switch(2, nic_bandwidth=5e7)
+        caps = topo.capacities()
+        assert len(caps) == topo.n_links
+        assert all(c == 5e7 for c in caps)
+
+    def test_needs_at_least_one_host(self):
+        with pytest.raises(ValueError):
+            single_switch(0, nic_bandwidth=1e8)
+
+
+class TestEdgeCore:
+    def test_host_placement_in_blocks(self):
+        topo = edge_core(
+            24, nic_bandwidth=12.5e6, hosts_per_edge=20,
+            trunk_bandwidth=125e6,
+        )
+        # 24 hosts, 20 per edge -> 2 edge switches + core.
+        assert len(topo.switches) == 3
+        assert topo.hosts[0].switch == 1
+        assert topo.hosts[19].switch == 1
+        assert topo.hosts[20].switch == 2
+
+    def test_same_edge_route_stays_local(self):
+        topo = edge_core(
+            24, nic_bandwidth=12.5e6, hosts_per_edge=20,
+            trunk_bandwidth=125e6,
+        )
+        route = topo.route(0, 1)
+        kinds = [topo.links[l].kind for l in route]
+        assert LinkKind.TRUNK not in kinds
+
+    def test_cross_edge_route_uses_two_trunks(self):
+        topo = edge_core(
+            24, nic_bandwidth=12.5e6, hosts_per_edge=20,
+            trunk_bandwidth=125e6,
+        )
+        route = topo.route(0, 23)
+        kinds = [topo.links[l].kind for l in route]
+        assert kinds.count(LinkKind.TRUNK) == 2
+
+    def test_core_backplane_on_cross_edge_path(self):
+        topo = edge_core(
+            24, nic_bandwidth=12.5e6, hosts_per_edge=20,
+            trunk_bandwidth=125e6, core_backplane=2e9,
+        )
+        route = topo.route(0, 23)
+        kinds = [topo.links[l].kind for l in route]
+        assert LinkKind.BACKPLANE in kinds
+
+    def test_route_symmetry_of_length(self):
+        topo = edge_core(
+            30, nic_bandwidth=12.5e6, hosts_per_edge=10,
+            trunk_bandwidth=125e6,
+        )
+        assert len(topo.route(0, 25)) == len(topo.route(25, 0))
+
+
+class TestManualConstruction:
+    def test_unfinalized_route_raises(self):
+        topo = Topology()
+        sw = topo.add_switch()
+        topo.add_host(sw, nic_bandwidth=1e6)
+        topo.add_host(sw, nic_bandwidth=1e6)
+        with pytest.raises(RoutingError, match="finalize"):
+            topo.route(0, 1)
+
+    def test_disconnected_switches_raise_on_route(self):
+        topo = Topology()
+        a = topo.add_switch()
+        b = topo.add_switch()
+        topo.add_host(a, nic_bandwidth=1e6)
+        topo.add_host(b, nic_bandwidth=1e6)
+        topo.finalize()
+        with pytest.raises(RoutingError, match="no switch path"):
+            topo.route(0, 1)
+
+    def test_adding_host_to_missing_switch_raises(self):
+        topo = Topology()
+        with pytest.raises(ValueError):
+            topo.add_host(0, nic_bandwidth=1e6)
+
+    def test_multi_hop_switch_chain(self):
+        topo = Topology()
+        switches = [topo.add_switch() for _ in range(3)]
+        topo.connect_switches(switches[0], switches[1], bandwidth=1e9)
+        topo.connect_switches(switches[1], switches[2], bandwidth=1e9)
+        topo.add_host(switches[0], nic_bandwidth=1e8)
+        topo.add_host(switches[2], nic_bandwidth=1e8)
+        topo.finalize()
+        route = topo.route(0, 1)
+        kinds = [topo.links[l].kind for l in route]
+        assert kinds.count(LinkKind.TRUNK) == 2
