@@ -2,8 +2,8 @@
 
 `pip install -e . --no-build-isolation --no-use-pep517` uses this legacy
 path (setup.py develop), which does not require building a wheel.  All
-metadata lives in pyproject.toml; this file only exists for offline
-editable installs.
+metadata lives in pyproject.toml (src layout, console entry point
+``repro-alltoall``); this file only exists for offline editable installs.
 """
 
 from setuptools import setup

@@ -14,6 +14,8 @@ Public API tour
   discrete-event network simulator and an MPI-like runtime with four
   All-to-All algorithms.
 * :mod:`repro.experiments` — one driver per paper figure/table.
+* :mod:`repro.sweeps` — declarative measurement grids run on a worker
+  pool with on-disk result caching (the ``sweep`` CLI subcommand).
 
 Quickstart
 ----------
@@ -26,7 +28,7 @@ Quickstart
 True
 """
 
-from . import clusters, core, measure, simmpi, simnet
+from . import clusters, core, measure, simmpi, simnet, sweeps
 from ._version import __version__
 from .core import (
     MED,
@@ -46,6 +48,7 @@ __all__ = [
     "measure",
     "simmpi",
     "simnet",
+    "sweeps",
     "__version__",
     "AlltoallPredictor",
     "AlltoallSample",

@@ -17,6 +17,14 @@ Characterise a cluster (fit its contention signature)::
 Predict an All-to-All time from paper-reported signatures::
 
     python -m repro.cli predict gigabit-ethernet 40 1048576
+
+Run a (clusters x nprocs x sizes x algorithms x seeds) grid on a worker
+pool with result caching, emitting CSV/JSONL::
+
+    python -m repro.cli sweep --clusters gigabit-ethernet,myrinet \
+        --nprocs 4,8 --sizes 2kB,32kB,256kB --algorithms direct,bruck \
+        --workers 4 --cache-dir ~/.cache/repro-alltoall/sweeps \
+        --csv out/sweep.csv
 """
 
 from __future__ import annotations
@@ -77,23 +85,85 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     if cluster.paper is None:
         print("no paper signature recorded for this cluster", file=sys.stderr)
         return 1
+    size = parse_size(args.msg_size)
     # A reference Hockney pair per network class (paper-scale constants).
+    # β must include the transport's wire-byte framing (envelope +
+    # per-segment overhead), or predictions undercut the simulator.
     alpha = cluster.transport.base_latency
     topology = cluster.topology(2)
-    beta = 1.0 / topology.links[topology.hosts[0].tx_link].capacity
+    capacity = topology.links[topology.hosts[0].tx_link].capacity
+    beta = cluster.transport.effective_beta(size, capacity)
     signature = ContentionSignature(
         gamma=cluster.paper.gamma,
         delta=cluster.paper.delta,
         threshold=cluster.paper.threshold,
         hockney=HockneyParams(alpha=alpha, beta=beta),
     )
-    size = parse_size(args.msg_size)
     time = signature.predict(args.nprocs, size)
     bound = signature.lower_bound(args.nprocs, size)
     print(f"predicted MPI_Alltoall({args.nprocs} procs, {size} B):")
     print(f"  prediction : {format_time(float(time))}")
     print(f"  lower bound: {format_time(float(bound))}")
     print(f"  signature  : {signature}")
+    return 0
+
+
+def _csv_list(text: str) -> list[str]:
+    """Split a comma-separated CLI value, dropping empties."""
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .sweeps import ResultCache, SweepRunner, SweepSpec, default_cache_dir
+
+    try:
+        spec = SweepSpec(
+            clusters=tuple(_csv_list(args.clusters)),
+            nprocs=tuple(int(n) for n in _csv_list(args.nprocs)),
+            sizes=tuple(parse_size(s) for s in _csv_list(args.sizes)),
+            algorithms=tuple(_csv_list(args.algorithms)),
+            seeds=tuple(int(s) for s in _csv_list(args.seeds)),
+            reps=args.reps,
+        )
+    except ValueError as exc:
+        print(f"invalid sweep spec: {exc}", file=sys.stderr)
+        return 2
+    if args.no_cache:
+        cache = None
+    else:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    try:
+        runner = SweepRunner(workers=args.workers, cache=cache)
+    except ValueError as exc:
+        print(f"invalid sweep options: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = runner.run(spec)
+    except KeyError as exc:
+        print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
+        return 2
+
+    print(f"sweep     : {spec.describe()}")
+    print(f"workers   : {runner.workers}")
+    print(f"cache     : {cache.root if cache is not None else 'disabled'}")
+    print(f"simulated : {result.n_simulated}")
+    print(f"cached    : {result.n_cached}")
+    print(f"elapsed   : {result.elapsed:.2f} s")
+    if args.csv:
+        print(f"csv       : {result.save_csv(args.csv)}")
+    if args.jsonl:
+        print(f"jsonl     : {result.save_jsonl(args.jsonl)}")
+    if not args.csv and not args.jsonl:
+        slowest = sorted(
+            result.results, key=lambda r: r.sample.mean_time, reverse=True
+        )[:5]
+        print("slowest points:")
+        for r in slowest:
+            print(
+                f"  {r.point.cluster:<18} {r.point.algorithm:<7} "
+                f"n={r.point.n_processes:<3} m={r.point.msg_size:<8} "
+                f"{format_time(r.sample.mean_time)}"
+            )
     return 0
 
 
@@ -133,6 +203,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.add_argument("nprocs", type=int)
     p_pred.add_argument("msg_size", help="bytes or size string like 256kB")
     p_pred.set_defaults(func=_cmd_predict)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a measurement grid on a worker pool with result caching",
+    )
+    p_sweep.add_argument(
+        "--clusters", default="gigabit-ethernet",
+        help="comma-separated cluster names",
+    )
+    p_sweep.add_argument(
+        "--nprocs", default="4,8", help="comma-separated process counts"
+    )
+    p_sweep.add_argument(
+        "--sizes", default="2kB,32kB,256kB",
+        help="comma-separated message sizes (bytes or strings like 256kB)",
+    )
+    p_sweep.add_argument(
+        "--algorithms", default="direct",
+        help="comma-separated algorithm names (direct,rounds,bruck,ring)",
+    )
+    p_sweep.add_argument(
+        "--seeds", default="0", help="comma-separated base seeds"
+    )
+    p_sweep.add_argument("--reps", type=int, default=1)
+    p_sweep.add_argument(
+        "--workers", type=int, default=1, help="worker process count"
+    )
+    p_sweep.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: $REPRO_SWEEP_CACHE or "
+             "~/.cache/repro-alltoall/sweeps)",
+    )
+    p_sweep.add_argument(
+        "--no-cache", action="store_true", help="always simulate"
+    )
+    p_sweep.add_argument("--csv", default=None, help="write rows as CSV")
+    p_sweep.add_argument("--jsonl", default=None, help="write rows as JSONL")
+    p_sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 

@@ -97,14 +97,19 @@ def fit_knee(
     errors_percent,
     base: ContentionSignature,
     *,
+    msg_size: float,
     power: float = 1.0,
 ) -> SaturatedSignature:
     """Fit the saturation knee from an error-vs-n curve (Figs. 8/11/14).
 
-    The plain signature's relative error at small n approximates
-    ``(1/γ_eff - 1/γ) ... `` — rather than inverting analytically we
-    scan candidate knees and keep the one minimising the squared error
-    between the observed errors and the errors the ramped model implies.
+    Rather than inverting the ramp analytically we scan candidate knees
+    and keep the one minimising the squared error between the observed
+    measured/estimated ratios and the ratios the ramped model implies.
+    The implied ratio is the *full* prediction ratio
+    ``SaturatedSignature.predict / base.predict`` — on δ>0 networks
+    (FE, GigE) the δ start-up term appears in both measurement and
+    estimate, so reducing the ratio to ``γ_eff/γ`` alone would bias the
+    knee towards too-small values.
 
     Parameters
     ----------
@@ -113,21 +118,30 @@ def fit_knee(
         ``(measured/estimated - 1)·100``.
     base:
         The fitted saturated-network signature.
+    msg_size:
+        Message size (bytes) the error curve was measured at (the error
+        figures use 128 KiB–1 MiB).  Required because on δ>0 networks
+        the δ/bandwidth balance — and therefore the fitted knee —
+        depends on m.
     """
     n_values = np.asarray(n_values, dtype=np.float64)
     errors = np.asarray(errors_percent, dtype=np.float64)
     if n_values.size != errors.size or n_values.size < 3:
         raise FittingError("need >= 3 (n, error) points to locate the knee")
+    if msg_size <= 0:
+        raise FittingError("msg_size must be positive")
     # Implied measured/estimated ratio from the plain model's errors.
     ratio = errors / 100.0 + 1.0
+    plain = np.asarray(base.predict(n_values, msg_size), dtype=np.float64)
     best: tuple[float, SaturatedSignature] | None = None
     n_lo = float(n_values.min())
     n_hi = float(n_values.max())
     for knee in np.linspace(n_lo + 1.0, n_hi, num=32):
         ramp = SaturationRamp(n_free=min(2.0, n_lo), n_sat=float(knee), power=power)
         model = SaturatedSignature(base=base, ramp=ramp)
-        # Ratio the ramped model implies against the plain prediction:
-        implied = model.gamma_effective(n_values) / base.gamma
+        # Ratio the ramped model implies against the plain prediction,
+        # δ term and all.
+        implied = np.asarray(model.predict(n_values, msg_size)) / plain
         sse = float(((implied - ratio) ** 2).sum())
         if best is None or sse < best[0]:
             best = (sse, model)

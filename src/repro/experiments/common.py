@@ -210,12 +210,18 @@ def _signature_cached(
     seed: int,
     delta_mode: str,
 ) -> ContentionSignature:
+    from ..sweeps.runner import default_runner
+
     cluster = get_cluster(cluster_name)
     scale = SCALES[scale_name]
     hockney = reference_hockney(cluster, scale, seed=seed)
     sizes = sample_sizes_for(scale)
+    # Routed through the sweep engine: the process-wide runner supplies
+    # parallelism (REPRO_SWEEP_WORKERS) and the on-disk result cache
+    # (REPRO_SWEEP_CACHE) on top of this in-memory lru_cache.
     samples = sweep_sizes(
-        cluster, nprocs, sizes, reps=scale.reps, seed=seed + 1
+        cluster, nprocs, sizes, reps=scale.reps, seed=seed + 1,
+        runner=default_runner(),
     )
     fit = fit_signature(samples, hockney, delta_mode=delta_mode)
     return fit.signature

@@ -14,7 +14,7 @@ import numpy as np
 from ..clusters.profiles import ClusterProfile
 from ..core.bounds import alltoall_lower_bound
 from ..core.errors import relative_error_percent
-from ..measure.alltoall import measure_alltoall, sweep_sizes
+from ..measure.alltoall import sweep_grid, sweep_sizes
 from .common import (
     ExperimentResult,
     Scale,
@@ -122,12 +122,15 @@ def surface_figure(
     fit_n = sample_nprocs if scale.name != "smoke" else 6
     signature = reference_signature(cluster, fit_n, scale, seed=seed)
     n_values, m_values = _surface_grid(scale, max_n)
-    measured = np.zeros((len(n_values), len(m_values)))
-    for i, n in enumerate(n_values):
-        for j, m in enumerate(m_values):
-            measured[i, j] = measure_alltoall(
-                cluster, n, m, reps=scale.reps, seed=seed + 3
-            ).mean_time
+    # One engine-routed grid sweep (n-major order matches the reshape);
+    # per-point streams are named, so values are identical to the old
+    # point-by-point loop.
+    samples = sweep_grid(
+        cluster, n_values, m_values, reps=scale.reps, seed=seed + 3
+    )
+    measured = np.array([s.mean_time for s in samples]).reshape(
+        len(n_values), len(m_values)
+    )
     predicted = signature.predict(
         np.asarray(n_values, dtype=np.float64)[:, None],
         np.asarray(m_values, dtype=np.float64)[None, :],
@@ -182,14 +185,14 @@ def error_figure(
         sizes = ERROR_MESSAGE_SIZES
     ns = [n for n in ns if n <= max_n]
 
+    grid = sweep_grid(cluster, ns, sizes, reps=scale.reps, seed=seed + 4)
+    by_point = {(s.n_processes, s.msg_size): s for s in grid}
     series = {}
     saturated_errors = []
     for m in sizes:
         errors = []
         for n in ns:
-            sample = measure_alltoall(
-                cluster, n, int(m), reps=scale.reps, seed=seed + 4
-            )
+            sample = by_point[(n, int(m))]
             estimated = signature.predict(n, int(m))
             err = relative_error_percent(sample.mean_time, estimated)
             errors.append(err)

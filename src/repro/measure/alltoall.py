@@ -60,6 +60,18 @@ def measure_alltoall(
     )
 
 
+def _run_points(cluster, points, runner):
+    """Route points through a sweep runner (default: process-wide one).
+
+    Imported lazily: :mod:`repro.sweeps` builds on this module.
+    """
+    from ..sweeps.runner import default_runner
+
+    if runner is None:
+        runner = default_runner()
+    return runner.run_points(points, profile=cluster).samples
+
+
 def sweep_sizes(
     cluster: ClusterProfile,
     n_processes: int,
@@ -68,15 +80,32 @@ def sweep_sizes(
     reps: int = 3,
     seed: int = 0,
     algorithm: str = "direct",
+    runner=None,
 ) -> list[AlltoallSample]:
-    """Message-size sweep at fixed n (the fit figures 6/9/12)."""
-    return [
-        measure_alltoall(
-            cluster, n_processes, int(size), reps=reps, seed=seed,
-            algorithm=algorithm,
-        )
-        for size in sizes
-    ]
+    """Message-size sweep at fixed n (the fit figures 6/9/12).
+
+    Routed through the sweep engine: pass a configured
+    :class:`~repro.sweeps.SweepRunner` (or set ``REPRO_SWEEP_WORKERS`` /
+    ``REPRO_SWEEP_CACHE``) to parallelise and cache the points.
+    """
+    from ..sweeps.spec import SweepPoint
+
+    try:
+        points = [
+            SweepPoint(
+                cluster=cluster.name,
+                n_processes=n_processes,
+                msg_size=int(size),
+                algorithm=algorithm,
+                seed=seed,
+                reps=reps,
+            )
+            for size in sizes
+        ]
+    except ValueError as exc:
+        # Preserve the measure layer's exception hierarchy.
+        raise MeasurementError(str(exc)) from None
+    return _run_points(cluster, points, runner)
 
 
 def sweep_grid(
@@ -87,15 +116,29 @@ def sweep_grid(
     reps: int = 3,
     seed: int = 0,
     algorithm: str = "direct",
+    runner=None,
 ) -> list[AlltoallSample]:
-    """(n, m) grid sweep (the surface figures 5/7/10/13)."""
-    samples = []
-    for n in n_values:
-        for size in sizes:
-            samples.append(
-                measure_alltoall(
-                    cluster, int(n), int(size), reps=reps, seed=seed,
-                    algorithm=algorithm,
-                )
+    """(n, m) grid sweep (the surface figures 5/7/10/13).
+
+    Point order is n-major, size-minor.  Same runner semantics as
+    :func:`sweep_sizes`.
+    """
+    from ..sweeps.spec import SweepPoint
+
+    try:
+        points = [
+            SweepPoint(
+                cluster=cluster.name,
+                n_processes=int(n),
+                msg_size=int(size),
+                algorithm=algorithm,
+                seed=seed,
+                reps=reps,
             )
-    return samples
+            for n in n_values
+            for size in sizes
+        ]
+    except ValueError as exc:
+        # Preserve the measure layer's exception hierarchy.
+        raise MeasurementError(str(exc)) from None
+    return _run_points(cluster, points, runner)

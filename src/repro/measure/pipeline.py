@@ -57,12 +57,17 @@ def characterize_cluster(
     delta_mode: str = "per_round",
     threshold: int | str = "auto",
     algorithm: str = "direct",
+    runner=None,
 ) -> Characterization:
     """Run the full §8 procedure on a virtual cluster.
 
     ``sample_nprocs`` is the paper's n′ — it should be large enough to
     saturate the network (the paper attributes its Myrinet error to an
     unsaturated sample size; the ablation bench quantifies this).
+
+    The All-to-All sweep goes through the sweep engine; pass *runner*
+    (a :class:`~repro.sweeps.SweepRunner`) to parallelise it or serve
+    repeated characterisations from the result cache.
     """
     pingpong = measure_pingpong(
         cluster, reps=pingpong_reps, seed=seed
@@ -75,6 +80,7 @@ def characterize_cluster(
         reps=reps,
         seed=seed,
         algorithm=algorithm,
+        runner=runner,
     )
     signature_fit = fit_signature(
         samples,

@@ -82,6 +82,20 @@ class TransportParams:
             return 0.0
         return payload / self.local_copy_bandwidth
 
+    def effective_beta(self, payload: int, link_capacity: float) -> float:
+        """Seconds per *payload* byte through the framed wire.
+
+        The raw link β is ``1/capacity``, but every payload also carries
+        the envelope and per-segment framing (:meth:`wire_bytes`), so the
+        β an MPI payload actually experiences is larger.  This is the β
+        predictions and lower bounds must use to be consistent with the
+        simulator.
+        """
+        if link_capacity <= 0:
+            raise ValueError("link_capacity must be positive")
+        payload = max(int(payload), 1)
+        return self.wire_bytes(payload) / (payload * link_capacity)
+
     def mux_applies(self, payload: int, inbound_open: int) -> bool:
         """Whether receiver demultiplexing overhead is charged."""
         return (

@@ -247,11 +247,23 @@ class FluidNetwork:
         return flow
 
     def inbound_open_count(self, host: int) -> int:
-        """Open (active or stalled) inbound flows for *host*."""
+        """Inbound flows injected and not yet complete for *host*.
+
+        Counts PENDING flows as well as ACTIVE and STALLED ones: a flow
+        is "open" at the receiver from the instant it is injected (the
+        receiver's stack is already committed to it; pending flows are
+        admitted by the same-timestamp resolve, so the distinction is
+        only visible mid-cascade).  The demux-concurrency snapshot taken
+        at flow completion relies on exactly this semantics.
+        """
         return self._inbound_open.get(host, 0)
 
     def outbound_open_count(self, host: int) -> int:
-        """Open (active or stalled) outbound flows for *host*."""
+        """Outbound flows injected and not yet complete for *host*.
+
+        Same open-from-injection semantics as :meth:`inbound_open_count`
+        (PENDING, ACTIVE, or STALLED).
+        """
         return self._outbound_open.get(host, 0)
 
     @property

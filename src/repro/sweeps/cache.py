@@ -1,0 +1,222 @@
+"""On-disk result cache for sweep points.
+
+Every simulated point is stored as one small JSON file whose name is a
+SHA-256 **content hash** of everything that determines the result:
+
+* the point coordinates (cluster, n, m, algorithm, seed, reps);
+* a *fingerprint* of the cluster profile — transport parameters, loss
+  process, HoL penalty, start skew, plus structural probes of the
+  topology the profile builds (link kinds/capacities at two sizes);
+* :data:`CACHE_VERSION`, bumped whenever the simulator's behaviour
+  changes in a result-relevant way.
+
+Editing a profile (e.g. through ``ClusterProfile.with_overrides``)
+therefore changes the key and transparently invalidates old entries;
+stale files are never read, only orphaned (``clear()`` removes them).
+
+The default location is ``$REPRO_SWEEP_CACHE`` when set, else
+``~/.cache/repro-alltoall/sweeps``.  Writes are atomic (tmp file +
+``os.replace``) so concurrent workers and repeated runs never observe a
+torn entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from ..clusters.profiles import ClusterProfile
+from ..core.signature import AlltoallSample
+from .spec import SweepPoint
+
+__all__ = [
+    "CACHE_VERSION",
+    "ResultCache",
+    "default_cache_dir",
+    "point_key",
+    "profile_fingerprint",
+]
+
+#: Bump when simulator changes invalidate previously cached results.
+CACHE_VERSION = 1
+
+#: Default topology probe sizes: small catches NIC/switch constants,
+#: large catches size-dependent structure (edge switch fan-out, trunks).
+#: The sweep runner instead probes at each point's own n — the exact
+#: fabric that point simulates — so its keys never miss a topology
+#: difference (see :func:`point_key`).
+DEFAULT_PROBE_SIZES = (2, 24)
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_SWEEP_CACHE`` or ``~/.cache/repro-alltoall/sweeps``."""
+    env = os.environ.get("REPRO_SWEEP_CACHE")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-alltoall" / "sweeps"
+
+
+def _jsonable(value: object) -> object:
+    """Canonicalise a value for stable JSON hashing."""
+    if isinstance(value, enum.Enum):
+        return value.name
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {
+            str(_jsonable(k)): _jsonable(v)
+            for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot fingerprint value of type {type(value).__name__}")
+
+
+def _topology_probe(cluster: ClusterProfile, n_hosts: int) -> dict[str, object]:
+    """Full structural capture of the fabric built for *n_hosts*.
+
+    Links, host cabling (including switch membership), and switch
+    wiring (backplane + trunk adjacency) together determine every
+    route the fluid solver can take, so two fabrics with equal probes
+    are indistinguishable to the simulation.
+    """
+    topo = cluster.topology(n_hosts)
+    return {
+        "links": [[link.kind.name, link.capacity] for link in topo.links],
+        "hosts": [
+            [host.switch, host.tx_link, host.rx_link] for host in topo.hosts
+        ],
+        "switches": [
+            [sw.backplane_link, sorted(sw.trunks.items())]
+            for sw in topo.switches
+        ],
+    }
+
+
+def profile_fingerprint(
+    cluster: ClusterProfile,
+    probe_sizes: tuple[int, ...] = DEFAULT_PROBE_SIZES,
+) -> dict[str, object]:
+    """Code-relevant parameters of a profile, as a canonical dict.
+
+    The topology factory is a closure and cannot be hashed directly; its
+    behaviour is captured by building the fabric at *probe_sizes* and
+    fingerprinting the resulting link structure.  A point keyed with a
+    probe at its own process count therefore reflects exactly the fabric
+    its simulation runs on.
+    """
+    probes = {
+        str(n): _topology_probe(cluster, n)
+        for n in sorted(set(probe_sizes))
+        if n <= cluster.max_hosts
+    }
+    return {
+        "name": cluster.name,
+        "transport": _jsonable(cluster.transport),
+        "loss": _jsonable(cluster.loss),
+        "hol": _jsonable(cluster.hol),
+        "start_skew_scale": cluster.start_skew_scale,
+        "max_hosts": cluster.max_hosts,
+        "topology": probes,
+    }
+
+
+def point_key(point: SweepPoint, fingerprint: dict[str, object]) -> str:
+    """SHA-256 content hash identifying one point's result."""
+    payload = {
+        "cache_version": CACHE_VERSION,
+        "point": point.key_payload(),
+        "profile": fingerprint,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed store of :class:`AlltoallSample` results.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first write).  ``None`` picks
+        :func:`default_cache_dir`.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> AlltoallSample | None:
+        """Load a cached sample, or ``None`` (counts hit/miss stats).
+
+        Any unreadable, malformed, or wrongly-shaped entry is a miss —
+        the point is re-simulated and the entry rewritten — never an
+        error.
+        """
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            sample = payload["sample"]
+            result = AlltoallSample(
+                n_processes=int(sample["n_processes"]),
+                msg_size=int(sample["msg_size"]),
+                mean_time=float(sample["mean_time"]),
+                std_time=float(sample["std_time"]),
+                reps=int(sample["reps"]),
+            )
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, point: SweepPoint, sample: AlltoallSample) -> None:
+        """Persist one point's sample atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "cache_version": CACHE_VERSION,
+            "key": key,
+            "point": point.key_payload(),
+            "sample": {
+                "n_processes": sample.n_processes,
+                "msg_size": sample.msg_size,
+                "mean_time": sample.mean_time,
+                "std_time": sample.std_time,
+                "reps": sample.reps,
+            },
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultCache({str(self.root)!r}, hits={self.hits}, misses={self.misses})"

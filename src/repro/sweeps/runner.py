@@ -1,0 +1,309 @@
+"""Parallel sweep execution with transparent result caching.
+
+The runner resolves every point against the :class:`ResultCache` first,
+fans the remaining (cache-miss) points out over a ``multiprocessing``
+pool, then stores the fresh results back.  Simulation order never
+affects results: each point's random streams are derived *by name* from
+its own coordinates (see the package docstring), so a point simulated by
+worker 3 of an 8-way pool is bit-identical to the same point simulated
+serially.
+
+Workers re-build cluster profiles from their registry names (profiles
+hold topology closures and cannot be pickled).  Call sites that sweep a
+*custom* profile object — ablations built with
+``ClusterProfile.with_overrides`` — still get caching, and get
+parallelism whenever the profile is provably the registry one (same
+fingerprint); otherwise they fall back to in-process execution.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..analysis.io import write_csv
+from ..clusters.profiles import CLUSTERS, ClusterProfile, get_cluster
+from ..core.signature import AlltoallSample
+from ..measure.alltoall import measure_alltoall
+from .cache import ResultCache, point_key, profile_fingerprint
+from .spec import SweepPoint, SweepSpec
+
+__all__ = [
+    "PointResult",
+    "SweepResult",
+    "SweepRunner",
+    "configure_default_runner",
+    "default_runner",
+]
+
+
+def _execute_point(point: SweepPoint) -> AlltoallSample:
+    """Simulate one point (top-level so worker processes can pickle it)."""
+    cluster = get_cluster(point.cluster)
+    return measure_alltoall(
+        cluster,
+        point.n_processes,
+        point.msg_size,
+        reps=point.reps,
+        seed=point.seed,
+        algorithm=point.algorithm,
+    )
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """One resolved point: where its sample came from."""
+
+    point: SweepPoint
+    sample: AlltoallSample
+    cached: bool
+
+
+@dataclass
+class SweepResult:
+    """All resolved points of one sweep, in spec expansion order."""
+
+    results: list[PointResult]
+    elapsed: float
+    workers: int
+    spec: SweepSpec | None = field(default=None, repr=False)
+
+    @property
+    def samples(self) -> list[AlltoallSample]:
+        """The samples alone (expansion order)."""
+        return [r.sample for r in self.results]
+
+    @property
+    def n_points(self) -> int:
+        return len(self.results)
+
+    @property
+    def n_cached(self) -> int:
+        """Points served from the cache."""
+        return sum(1 for r in self.results if r.cached)
+
+    @property
+    def n_simulated(self) -> int:
+        """Points that ran a fresh simulation."""
+        return sum(1 for r in self.results if not r.cached)
+
+    def to_rows(self) -> tuple[list[str], list[dict[str, object]]]:
+        """Flat tabular view (CSV/JSONL-ready)."""
+        fieldnames = [
+            "cluster", "algorithm", "n_processes", "msg_size", "seed",
+            "reps", "mean_time", "std_time", "cached",
+        ]
+        rows: list[dict[str, object]] = []
+        for r in self.results:
+            rows.append(
+                {
+                    "cluster": r.point.cluster,
+                    "algorithm": r.point.algorithm,
+                    "n_processes": r.point.n_processes,
+                    "msg_size": r.point.msg_size,
+                    "seed": r.point.seed,
+                    "reps": r.point.reps,
+                    "mean_time": r.sample.mean_time,
+                    "std_time": r.sample.std_time,
+                    "cached": int(r.cached),
+                }
+            )
+        return fieldnames, rows
+
+    def save_csv(self, path: str | Path) -> Path:
+        """Persist rows as CSV (parents created)."""
+        fieldnames, rows = self.to_rows()
+        return write_csv(path, fieldnames, rows)
+
+    def save_jsonl(self, path: str | Path) -> Path:
+        """Persist rows as JSON lines (parents created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _, rows = self.to_rows()
+        with path.open("w") as handle:
+            for row in rows:
+                handle.write(json.dumps(row) + "\n")
+        return path
+
+
+class SweepRunner:
+    """Execute sweep points over a worker pool, cache-first.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; ``1`` executes in-process (no pool).
+    cache:
+        Result cache, or ``None`` to always simulate.
+    """
+
+    def __init__(self, *, workers: int = 1, cache: ResultCache | None = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.cache = cache
+
+    # -- public API -----------------------------------------------------
+
+    def run(self, spec: SweepSpec) -> SweepResult:
+        """Resolve every point of *spec* (cache hits + fresh simulations)."""
+        unknown = [c for c in spec.clusters if c not in CLUSTERS]
+        if unknown:
+            known = ", ".join(sorted(CLUSTERS))
+            raise KeyError(f"unknown clusters {unknown}; known: {known}")
+        result = self.run_points(spec.points())
+        result.spec = spec
+        return result
+
+    def run_points(
+        self,
+        points: list[SweepPoint],
+        *,
+        profile: ClusterProfile | None = None,
+    ) -> SweepResult:
+        """Resolve an explicit point list.
+
+        With *profile* set, every point is simulated on that object (its
+        ``cluster`` field is used only for cache keying/labels); without
+        it, cluster names are resolved through the registry, which is
+        what allows fan-out to worker processes.
+        """
+        start = time.perf_counter()
+        samples: dict[int, AlltoallSample] = {}
+        cached: set[int] = set()
+        keys: list[str] = []
+        if self.cache is not None:
+            # Each point is keyed against the fabric it actually
+            # simulates: the profile fingerprint probed at the point's
+            # own process count (memoised per (cluster, n)).
+            fingerprints: dict[tuple[str, int], dict[str, object]] = {}
+
+            def fingerprint_for(point: SweepPoint) -> dict[str, object]:
+                memo = (point.cluster, point.n_processes)
+                if memo not in fingerprints:
+                    cluster = (
+                        profile if profile is not None else get_cluster(point.cluster)
+                    )
+                    fingerprints[memo] = profile_fingerprint(
+                        cluster, probe_sizes=(point.n_processes,)
+                    )
+                return fingerprints[memo]
+
+            keys = [point_key(p, fingerprint_for(p)) for p in points]
+            for idx, key in enumerate(keys):
+                hit = self.cache.get(key)
+                if hit is not None:
+                    samples[idx] = hit
+                    cached.add(idx)
+        misses = [idx for idx in range(len(points)) if idx not in samples]
+
+        for idx, sample in self._execute(misses, points, profile):
+            samples[idx] = sample
+            if self.cache is not None:
+                self.cache.put(keys[idx], points[idx], sample)
+
+        results = [
+            PointResult(point=points[idx], sample=samples[idx], cached=idx in cached)
+            for idx in range(len(points))
+        ]
+        return SweepResult(
+            results=results,
+            elapsed=time.perf_counter() - start,
+            workers=self.workers,
+        )
+
+    # -- execution ------------------------------------------------------
+
+    def _parallel_safe(
+        self, profile: ClusterProfile | None, points: list[SweepPoint]
+    ) -> bool:
+        """Whether misses may run in worker processes (registry-resolvable)."""
+        if profile is None:
+            return True
+        if profile.name not in CLUSTERS:
+            return False
+        # A profile object is safe to re-build by name only if it is
+        # indistinguishable from the registry one *at every process
+        # count actually being swept* (topology closures cannot be
+        # hashed, so they are compared through probes at those sizes).
+        sizes = tuple(sorted({p.n_processes for p in points}))
+        return profile_fingerprint(
+            get_cluster(profile.name), probe_sizes=sizes
+        ) == profile_fingerprint(profile, probe_sizes=sizes)
+
+    def _execute(
+        self,
+        misses: list[int],
+        points: list[SweepPoint],
+        profile: ClusterProfile | None,
+    ):
+        """Yield ``(index, sample)`` for every cache-missed point."""
+        if not misses:
+            return
+        if (
+            self.workers > 1
+            and len(misses) > 1
+            and self._parallel_safe(profile, [points[i] for i in misses])
+        ):
+            todo = [points[idx] for idx in misses]
+            with multiprocessing.Pool(min(self.workers, len(todo))) as pool:
+                for idx, sample in zip(
+                    misses, pool.map(_execute_point, todo, chunksize=1)
+                ):
+                    yield idx, sample
+            return
+        for idx in misses:
+            point = points[idx]
+            if profile is not None:
+                sample = measure_alltoall(
+                    profile,
+                    point.n_processes,
+                    point.msg_size,
+                    reps=point.reps,
+                    seed=point.seed,
+                    algorithm=point.algorithm,
+                )
+            else:
+                sample = _execute_point(point)
+            yield idx, sample
+
+
+# ----------------------------------------------------------------------
+# Process-wide default runner (what library call sites route through).
+# ----------------------------------------------------------------------
+
+_default_runner: SweepRunner | None = None
+
+
+def configure_default_runner(
+    *,
+    workers: int | None = None,
+    cache_dir: str | Path | None = None,
+    enable_cache: bool | None = None,
+) -> SweepRunner:
+    """(Re)build the process-wide runner used by library sweep helpers.
+
+    With no arguments, configuration comes from the environment:
+    ``REPRO_SWEEP_WORKERS`` (default 1) and ``REPRO_SWEEP_CACHE`` (a
+    directory; unset disables caching).
+    """
+    global _default_runner
+    if workers is None:
+        workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))
+    if enable_cache is None:
+        enable_cache = cache_dir is not None or bool(os.environ.get("REPRO_SWEEP_CACHE"))
+    cache = ResultCache(cache_dir) if enable_cache else None
+    _default_runner = SweepRunner(workers=workers, cache=cache)
+    return _default_runner
+
+
+def default_runner() -> SweepRunner:
+    """The process-wide runner (built from the environment on first use)."""
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = configure_default_runner()
+    return _default_runner

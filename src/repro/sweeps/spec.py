@@ -1,0 +1,133 @@
+"""Declarative sweep grids.
+
+A :class:`SweepSpec` is the cartesian product
+
+    clusters x nprocs x msg sizes x algorithms x seeds
+
+with a shared repetition count.  :meth:`SweepSpec.points` expands it into
+:class:`SweepPoint` instances in a deterministic order (clusters outer,
+seeds inner), so two expansions of the same spec always enumerate the
+same points in the same positions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..simmpi.collectives import ALGORITHMS
+
+__all__ = ["SweepPoint", "SweepSpec"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (cluster, n, m, algorithm, seed) simulation coordinate."""
+
+    cluster: str
+    n_processes: int
+    msg_size: int
+    algorithm: str
+    seed: int
+    reps: int
+
+    def __post_init__(self) -> None:
+        if self.n_processes < 2:
+            raise ValueError("All-to-All needs at least 2 processes")
+        if self.msg_size < 1:
+            raise ValueError("msg_size must be >= 1 byte")
+        if self.reps < 1:
+            raise ValueError("reps must be >= 1")
+
+    def key_payload(self) -> dict[str, object]:
+        """The point's contribution to its cache key (stable field order)."""
+        return {
+            "cluster": self.cluster,
+            "n_processes": self.n_processes,
+            "msg_size": self.msg_size,
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "reps": self.reps,
+        }
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative grid of All-to-All measurement points.
+
+    Attributes
+    ----------
+    clusters:
+        Cluster profile names (keys of ``repro.clusters.CLUSTERS``).
+    nprocs / sizes:
+        Process counts and message sizes (bytes) to cross.
+    algorithms:
+        Algorithm names (keys of ``repro.simmpi.collectives.ALGORITHMS``).
+    seeds:
+        Base seeds; each seed yields an independent replication of the
+        whole grid (per-point streams are further derived by name, see
+        the package docstring).
+    reps:
+        Repetitions averaged inside each point.
+    """
+
+    clusters: tuple[str, ...]
+    nprocs: tuple[int, ...]
+    sizes: tuple[int, ...]
+    algorithms: tuple[str, ...] = ("direct",)
+    seeds: tuple[int, ...] = (0,)
+    reps: int = 3
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "clusters", tuple(self.clusters))
+        object.__setattr__(self, "nprocs", tuple(int(n) for n in self.nprocs))
+        object.__setattr__(self, "sizes", tuple(int(m) for m in self.sizes))
+        object.__setattr__(self, "algorithms", tuple(self.algorithms))
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        if not (self.clusters and self.nprocs and self.sizes
+                and self.algorithms and self.seeds):
+            raise ValueError("every sweep axis needs at least one value")
+        if any(n < 2 for n in self.nprocs):
+            raise ValueError("nprocs values must be >= 2 (All-to-All needs two processes)")
+        if any(m < 1 for m in self.sizes):
+            raise ValueError("sizes must be >= 1 byte")
+        unknown = [a for a in self.algorithms if a not in ALGORITHMS]
+        if unknown:
+            known = ", ".join(sorted(ALGORITHMS))
+            raise ValueError(f"unknown algorithms {unknown}; known: {known}")
+        if self.reps < 1:
+            raise ValueError("reps must be >= 1")
+
+    @property
+    def n_points(self) -> int:
+        """Grid cardinality."""
+        return (
+            len(self.clusters) * len(self.nprocs) * len(self.sizes)
+            * len(self.algorithms) * len(self.seeds)
+        )
+
+    def points(self) -> list[SweepPoint]:
+        """Expand the grid (deterministic order: clusters outer, seeds inner)."""
+        return [
+            SweepPoint(
+                cluster=cluster,
+                n_processes=n,
+                msg_size=m,
+                algorithm=algorithm,
+                seed=seed,
+                reps=self.reps,
+            )
+            for cluster, n, m, algorithm, seed in itertools.product(
+                self.clusters, self.nprocs, self.sizes,
+                self.algorithms, self.seeds,
+            )
+        ]
+
+    def describe(self) -> str:
+        """One-line shape summary for logs and the CLI."""
+        return (
+            f"{self.n_points} points "
+            f"({len(self.clusters)} clusters x {len(self.nprocs)} nprocs x "
+            f"{len(self.sizes)} sizes x {len(self.algorithms)} algorithms x "
+            f"{len(self.seeds)} seeds, reps={self.reps})"
+        )

@@ -38,6 +38,33 @@ class TestPredict:
     def test_predict_parses_size_strings(self, capsys):
         assert main(["predict", "myrinet", "24", "256kB"]) == 0
 
+    def test_predict_beta_includes_wire_framing(self, capsys):
+        # The β behind the printed prediction must come through the
+        # transport's wire-byte accounting, not the raw 1/capacity.
+        from repro.clusters.profiles import get_cluster
+        from repro.core.hockney import HockneyParams
+        from repro.core.signature import ContentionSignature
+        from repro.units import format_time
+
+        cluster = get_cluster("gigabit-ethernet")
+        size = 1_048_576
+        topology = cluster.topology(2)
+        capacity = topology.links[topology.hosts[0].tx_link].capacity
+        beta = cluster.transport.effective_beta(size, capacity)
+        assert beta > 1.0 / capacity  # framing strictly inflates β
+        expected = ContentionSignature(
+            gamma=cluster.paper.gamma,
+            delta=cluster.paper.delta,
+            threshold=cluster.paper.threshold,
+            hockney=HockneyParams(
+                alpha=cluster.transport.base_latency, beta=beta
+            ),
+        ).predict(40, size)
+
+        assert main(["predict", "gigabit-ethernet", "40", "1024kB"]) == 0
+        out = capsys.readouterr().out
+        assert format_time(float(expected)) in out
+
 
 class TestRunSmoke:
     def test_run_experiment_with_csv(self, capsys, tmp_path):

@@ -116,6 +116,16 @@ class TestSharing:
         engine.run()
         assert net.inbound_open_count(1) == 0
 
+    def test_open_counts_include_pending_flows(self):
+        # Documented semantics: a flow is "open" from injection, so the
+        # counts include PENDING flows (not only ACTIVE/STALLED) — the
+        # demux-concurrency snapshot taken at completion relies on it.
+        _, net = make_net()
+        flow = net.inject(0, 1, 100e6)
+        assert flow.state is FlowState.PENDING
+        assert net.inbound_open_count(1) == 1
+        assert net.outbound_open_count(0) == 1
+
 
 class TestLossProcess:
     @staticmethod

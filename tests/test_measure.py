@@ -118,3 +118,11 @@ class TestAlltoallMeasure:
             measure_alltoall(gige_cluster, 4, 0)
         with pytest.raises(MeasurementError):
             measure_alltoall(gige_cluster, 4, 1024, reps=0)
+
+    def test_sweeps_keep_measurement_error_hierarchy(self, gige_cluster):
+        # Engine routing must not change the measure layer's exception
+        # contract (callers catch ReproError/MeasurementError).
+        with pytest.raises(MeasurementError):
+            sweep_sizes(gige_cluster, 1, [1024], reps=1)
+        with pytest.raises(MeasurementError):
+            sweep_grid(gige_cluster, [4], [0], reps=1)

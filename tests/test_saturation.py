@@ -91,9 +91,49 @@ class TestFitKnee:
         measured = np.array([float(truth.predict(n, 524_288)) for n in ns])
         plain = np.array([float(BASE.predict(n, 524_288)) for n in ns])
         errors = (measured / plain - 1.0) * 100.0
-        fitted = fit_knee(ns, errors, BASE)
+        fitted = fit_knee(ns, errors, BASE, msg_size=524_288)
+        assert fitted.ramp.n_sat == pytest.approx(15.0, abs=2.0)
+
+    def test_delta_dominated_signature_regression(self):
+        # Regression: on δ>0 networks the δ start-up term appears in both
+        # measured and estimated times, so the measured/estimated ratio is
+        # far closer to 1 than γ_eff/γ.  Comparing γ ratios alone (the old
+        # behaviour) biases the knee; comparing full predictions recovers
+        # it even when δ dominates the message cost.
+        base = ContentionSignature(
+            gamma=4.36, delta=30e-3, threshold=8192, hockney=HOCKNEY
+        )
+        true_knee = 18.0
+        truth = SaturatedSignature(
+            base=base, ramp=SaturationRamp(n_free=2, n_sat=true_knee)
+        )
+        ns = np.arange(3, 41)
+        m = 131_072  # δ(n-1) ≈ 6x the bandwidth term here
+        measured = np.asarray(truth.predict(ns, m))
+        plain = np.asarray(base.predict(ns, m))
+        errors = (measured / plain - 1.0) * 100.0
+        fitted = fit_knee(ns, errors, base, msg_size=m)
+        assert fitted.ramp.n_sat == pytest.approx(true_knee, abs=1.5)
+
+    def test_knee_depends_on_message_size_for_delta_networks(self):
+        # The same error curve read at the wrong m fits a different ramp
+        # magnitude, so msg_size is part of the fit's contract.
+        truth = SaturatedSignature(
+            base=BASE, ramp=SaturationRamp(n_free=2, n_sat=15)
+        )
+        ns = np.arange(3, 41)
+        m = 131_072
+        errors = (
+            np.asarray(truth.predict(ns, m)) / np.asarray(BASE.predict(ns, m))
+            - 1.0
+        ) * 100.0
+        fitted = fit_knee(ns, errors, BASE, msg_size=m)
         assert fitted.ramp.n_sat == pytest.approx(15.0, abs=2.0)
 
     def test_needs_three_points(self):
         with pytest.raises(FittingError):
-            fit_knee([4, 8], [-50.0, -20.0], BASE)
+            fit_knee([4, 8], [-50.0, -20.0], BASE, msg_size=524_288)
+
+    def test_rejects_bad_msg_size(self):
+        with pytest.raises(FittingError):
+            fit_knee([4, 8, 12], [-50.0, -20.0, -5.0], BASE, msg_size=0)

@@ -1,0 +1,337 @@
+"""Unit tests for the parallel sweep engine and its result cache."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.clusters.profiles import gigabit_ethernet, myrinet
+from repro.core.signature import AlltoallSample
+from repro.measure.alltoall import measure_alltoall, sweep_grid, sweep_sizes
+from repro.sweeps import (
+    CACHE_VERSION,
+    ResultCache,
+    SweepPoint,
+    SweepRunner,
+    SweepSpec,
+    configure_default_runner,
+    point_key,
+    profile_fingerprint,
+)
+import repro.sweeps.runner as runner_mod
+
+
+def tiny_spec(**overrides):
+    defaults = dict(
+        clusters=("gigabit-ethernet",),
+        nprocs=(4,),
+        sizes=(2_048, 8_192),
+        algorithms=("direct",),
+        seeds=(0,),
+        reps=1,
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+class TestSpec:
+    def test_expansion_order_is_deterministic(self):
+        spec = tiny_spec(
+            clusters=("gigabit-ethernet", "myrinet"),
+            algorithms=("direct", "bruck"),
+            seeds=(0, 1),
+        )
+        assert spec.n_points == 16
+        points = spec.points()
+        assert points == spec.points()
+        assert len(points) == 16
+        # clusters vary slowest, seeds fastest
+        assert points[0].cluster == "gigabit-ethernet"
+        assert points[0].seed == 0
+        assert points[1].seed == 1
+        assert points[-1].cluster == "myrinet"
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ValueError, match="axis"):
+            tiny_spec(nprocs=())
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithms"):
+            tiny_spec(algorithms=("nope",))
+
+    def test_rejects_invalid_point_values_eagerly(self):
+        # Validated at spec level so the CLI reports them as bad specs
+        # instead of crashing during lazy expansion.
+        with pytest.raises(ValueError, match="nprocs"):
+            tiny_spec(nprocs=(1,))
+        with pytest.raises(ValueError, match="sizes"):
+            tiny_spec(sizes=(0,))
+
+    def test_point_validation(self):
+        with pytest.raises(ValueError):
+            SweepPoint("x", 1, 1024, "direct", 0, 1)
+        with pytest.raises(ValueError):
+            SweepPoint("x", 4, 0, "direct", 0, 1)
+
+    def test_describe_mentions_cardinality(self):
+        assert "2 sizes" in tiny_spec().describe()
+
+
+class TestCacheKey:
+    POINT = SweepPoint("gigabit-ethernet", 4, 2_048, "direct", 0, 1)
+
+    def test_key_is_stable(self):
+        fp = profile_fingerprint(gigabit_ethernet())
+        assert point_key(self.POINT, fp) == point_key(self.POINT, fp)
+
+    def test_key_changes_with_point_coordinates(self):
+        fp = profile_fingerprint(gigabit_ethernet())
+        other = SweepPoint("gigabit-ethernet", 4, 2_048, "direct", 1, 1)
+        assert point_key(self.POINT, fp) != point_key(other, fp)
+
+    def test_key_changes_with_profile_params(self):
+        base = gigabit_ethernet()
+        tweaked = base.with_overrides(start_skew_scale=123e-6)
+        assert point_key(self.POINT, profile_fingerprint(base)) != point_key(
+            self.POINT, profile_fingerprint(tweaked)
+        )
+
+    def test_fingerprint_captures_topology(self):
+        gige = profile_fingerprint(gigabit_ethernet())
+        myri = profile_fingerprint(myrinet())
+        assert gige["topology"] != myri["topology"]
+
+    def test_fingerprint_is_jsonable(self):
+        json.dumps(profile_fingerprint(gigabit_ethernet()))
+        assert isinstance(CACHE_VERSION, int)
+
+
+class TestCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        sample = AlltoallSample(
+            n_processes=4, msg_size=2048, mean_time=0.5, std_time=0.1, reps=3
+        )
+        cache.put("ab" + "0" * 62, TestCacheKey.POINT, sample)
+        loaded = cache.get("ab" + "0" * 62)
+        assert loaded == sample
+        assert cache.hits == 1
+        assert len(cache) == 1
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("ff" + "0" * 62) is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = tmp_path / "ab" / ("ab" + "0" * 62 + ".json")
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.get("ab" + "0" * 62) is None
+
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "{}",                                        # valid JSON, no sample
+            '{"sample": {"n_processes": 4}}',            # missing fields
+            '{"sample": {"n_processes": 1, "msg_size": 1, "mean_time": 1, "std_time": 0, "reps": 1}}',  # fails validation
+            '{"sample": null}',
+        ],
+    )
+    def test_wrong_shape_entry_is_a_miss(self, tmp_path, content):
+        cache = ResultCache(tmp_path)
+        path = tmp_path / "ab" / ("ab" + "0" * 62 + ".json")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+        assert cache.get("ab" + "0" * 62) is None
+        assert cache.hits == 0
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        sample = AlltoallSample(
+            n_processes=4, msg_size=2048, mean_time=0.5, reps=1
+        )
+        cache.put("cd" + "0" * 62, TestCacheKey.POINT, sample)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestRunner:
+    def test_matches_direct_measurement(self):
+        spec = tiny_spec()
+        result = SweepRunner(workers=1).run(spec)
+        cluster = gigabit_ethernet()
+        for r in result.results:
+            direct = measure_alltoall(
+                cluster, r.point.n_processes, r.point.msg_size,
+                reps=r.point.reps, seed=r.point.seed,
+                algorithm=r.point.algorithm,
+            )
+            assert r.sample.mean_time == direct.mean_time
+
+    def test_parallel_equals_serial(self):
+        spec = tiny_spec(nprocs=(4, 5), algorithms=("direct", "bruck"))
+        serial = SweepRunner(workers=1).run(spec)
+        parallel = SweepRunner(workers=2).run(spec)
+        assert [s.mean_time for s in serial.samples] == [
+            s.mean_time for s in parallel.samples
+        ]
+
+    def test_second_run_is_fully_cached_zero_simulations(self, tmp_path, monkeypatch):
+        spec = tiny_spec()
+        cache = ResultCache(tmp_path)
+        first = SweepRunner(workers=1, cache=cache).run(spec)
+        assert first.n_simulated == spec.n_points
+        assert first.n_cached == 0
+
+        # Second identical run must not simulate a single point: make any
+        # simulation attempt blow up.
+        def boom(*args, **kwargs):
+            raise AssertionError("cache miss: a simulation was attempted")
+
+        monkeypatch.setattr(runner_mod, "measure_alltoall", boom)
+        monkeypatch.setattr(runner_mod, "_execute_point", boom)
+        second = SweepRunner(workers=1, cache=ResultCache(tmp_path)).run(spec)
+        assert second.n_simulated == 0
+        assert second.n_cached == spec.n_points
+        assert [s.mean_time for s in second.samples] == [
+            s.mean_time for s in first.samples
+        ]
+
+    def test_profile_override_misses_registry_cache(self, tmp_path):
+        # Same cluster name, different physics: keys must not collide.
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(workers=1, cache=cache)
+        point = SweepPoint("gigabit-ethernet", 4, 2_048, "direct", 0, 1)
+        runner.run_points([point])
+        tweaked = gigabit_ethernet().with_overrides(start_skew_scale=5e-3)
+        result = runner.run_points([point], profile=tweaked)
+        assert result.n_simulated == 1  # not served from the registry entry
+
+    def test_topology_override_misses_registry_cache(self, tmp_path):
+        # Same cluster name, same transport, different fabric: the
+        # per-point topology probe must separate the keys and forbid
+        # the rebuild-by-name parallel fast path.
+        from repro.simnet.topology import single_switch
+
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(workers=1, cache=cache)
+        point = SweepPoint("gigabit-ethernet", 4, 2_048, "direct", 0, 1)
+        runner.run_points([point])
+        slow_fabric = gigabit_ethernet().with_overrides(
+            topology_factory=lambda n: single_switch(
+                n, nic_bandwidth=50e6, name="gdx-gige"
+            )
+        )
+        result = runner.run_points([point], profile=slow_fabric)
+        assert result.n_simulated == 1  # fabric change invalidates the key
+        assert not runner._parallel_safe(slow_fabric, [point])
+        assert runner._parallel_safe(gigabit_ethernet(), [point])
+
+    def test_unknown_cluster_rejected(self):
+        spec = tiny_spec(clusters=("no-such-cluster",))
+        with pytest.raises(KeyError, match="unknown clusters"):
+            SweepRunner().run(spec)
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            SweepRunner(workers=0)
+
+    def test_rows_and_files(self, tmp_path):
+        result = SweepRunner(workers=1).run(tiny_spec())
+        fieldnames, rows = result.to_rows()
+        assert fieldnames[0] == "cluster"
+        assert len(rows) == 2
+        csv_path = result.save_csv(tmp_path / "out" / "sweep.csv")
+        jsonl_path = result.save_jsonl(tmp_path / "out" / "sweep.jsonl")
+        assert csv_path.exists()
+        lines = jsonl_path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["cluster"] == "gigabit-ethernet"
+
+
+class TestSweepHelpersRouteThroughEngine:
+    def test_sweep_sizes_accepts_runner_with_cache(self, tmp_path):
+        cluster = gigabit_ethernet()
+        runner = SweepRunner(workers=1, cache=ResultCache(tmp_path))
+        first = sweep_sizes(cluster, 4, [2048, 8192], reps=1, seed=0, runner=runner)
+        again = sweep_sizes(cluster, 4, [2048, 8192], reps=1, seed=0, runner=runner)
+        assert [s.mean_time for s in first] == [s.mean_time for s in again]
+        assert runner.cache.hits == 2
+
+    def test_sweep_grid_order_is_n_major(self):
+        cluster = gigabit_ethernet()
+        samples = sweep_grid(cluster, [4, 5], [2048, 8192], reps=1, seed=0)
+        coords = [(s.n_processes, s.msg_size) for s in samples]
+        assert coords == [(4, 2048), (4, 8192), (5, 2048), (5, 8192)]
+
+    def test_default_runner_env_config(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path))
+        try:
+            runner = configure_default_runner()
+            assert runner.workers == 3
+            assert runner.cache is not None
+            assert runner.cache.root == tmp_path
+        finally:
+            # Restore a clean default for other tests even on failure.
+            monkeypatch.delenv("REPRO_SWEEP_WORKERS")
+            monkeypatch.delenv("REPRO_SWEEP_CACHE")
+            configure_default_runner()
+
+
+class TestCliSweep:
+    ARGS = [
+        "sweep",
+        "--clusters", "gigabit-ethernet",
+        "--nprocs", "4",
+        "--sizes", "2kB,8kB",
+        "--algorithms", "direct,bruck",
+        "--reps", "1",
+    ]
+
+    def test_sweep_runs_and_writes_outputs(self, tmp_path, capsys):
+        csv_path = tmp_path / "sweep.csv"
+        jsonl_path = tmp_path / "sweep.jsonl"
+        code = main(
+            self.ARGS
+            + [
+                "--cache-dir", str(tmp_path / "cache"),
+                "--csv", str(csv_path),
+                "--jsonl", str(jsonl_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "simulated : 4" in out
+        assert csv_path.exists() and jsonl_path.exists()
+
+    def test_second_cli_run_is_fully_cached(self, tmp_path, capsys):
+        args = self.ARGS + ["--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "simulated : 0" in out
+        assert "cached    : 4" in out
+
+    def test_no_cache_flag(self, capsys):
+        assert main(self.ARGS + ["--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cache     : disabled" in out
+        assert "slowest points:" in out
+
+    def test_bad_workers_is_reported(self, capsys):
+        assert main(self.ARGS + ["--no-cache", "--workers", "0"]) == 2
+        assert "workers must be >= 1" in capsys.readouterr().err
+
+    def test_bad_spec_is_reported(self, capsys):
+        assert main(self.ARGS[:1] + ["--algorithms", "nope", "--no-cache"]) == 2
+        assert "invalid sweep spec" in capsys.readouterr().err
+
+    def test_unknown_cluster_is_reported(self, capsys):
+        assert (
+            main(self.ARGS[:1] + ["--clusters", "nope", "--no-cache"]) == 2
+        )
+        assert "unknown clusters" in capsys.readouterr().err
