@@ -14,23 +14,23 @@ from __future__ import annotations
 
 import argparse
 
-from repro import clusters
+from repro import api, clusters
 from repro.measure import measure_alltoall
-from repro.simmpi.collectives import ALGORITHMS
+
 from repro.units import format_size
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--cluster", default="gigabit-ethernet",
-                        choices=sorted(clusters.CLUSTERS))
+                        choices=api.list_clusters())
     parser.add_argument("--nprocs", type=int, default=12)
     parser.add_argument("--reps", type=int, default=2)
     args = parser.parse_args()
 
     cluster = clusters.get_cluster(args.cluster)
     sizes = [256, 4_096, 65_536, 524_288]
-    names = sorted(ALGORITHMS)
+    names = api.list_algorithms()
 
     print(f"MPI_Alltoall algorithms on {cluster.name}, n={args.nprocs}\n")
     header = f"{'message':>10} | " + " ".join(f"{n:>12}" for n in names)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import clusters
+from repro import api, clusters
 from repro.core import ContentionSignature, HockneyParams, alltoall_lower_bound
 
 BUDGET_S = 1.0
@@ -60,7 +60,7 @@ def main() -> None:
     )
     print(header)
     print("-" * len(header))
-    for name in sorted(clusters.CLUSTERS):
+    for name in api.list_clusters():
         profile = clusters.get_cluster(name)
         signature = signature_from_paper(profile)
         naive = max_nodes_within_budget(

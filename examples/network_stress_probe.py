@@ -15,7 +15,7 @@ import argparse
 
 import numpy as np
 
-from repro import clusters
+from repro import api, clusters
 from repro.analysis import line_plot
 from repro.core.throughput import two_beta_from_states
 from repro.measure import stress_sweep
@@ -25,7 +25,7 @@ from repro.units import format_bandwidth
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--cluster", default="gigabit-ethernet",
-                        choices=sorted(clusters.CLUSTERS))
+                        choices=api.list_clusters())
     parser.add_argument("--transfer-mb", type=int, default=32)
     parser.add_argument("--max-connections", type=int, default=40)
     args = parser.parse_args()

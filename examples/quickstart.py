@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro import clusters
+from repro import api, clusters
 from repro.core.errors import relative_error_percent
 from repro.measure import characterize_cluster, measure_alltoall
 from repro.units import format_size, format_time
@@ -26,7 +26,7 @@ from repro.units import format_size, format_time
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--cluster", default="gigabit-ethernet",
-                        choices=sorted(clusters.CLUSTERS))
+                        choices=api.list_clusters())
     parser.add_argument("--nprocs", type=int, default=16,
                         help="sample size n' used for the fit")
     parser.add_argument("--seed", type=int, default=0)

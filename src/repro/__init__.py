@@ -16,6 +16,10 @@ Public API tour
 * :mod:`repro.experiments` — one driver per paper figure/table.
 * :mod:`repro.sweeps` — declarative measurement grids run on a worker
   pool with on-disk result caching (the ``sweep`` CLI subcommand).
+* :mod:`repro.api` — the facade: declarative :class:`~repro.api.Scenario`
+  objects (TOML/JSON/dict), plugin registries and ``register_*``
+  decorators for user-defined clusters, topologies, algorithms and
+  backends.
 
 Quickstart
 ----------
@@ -28,8 +32,11 @@ Quickstart
 True
 """
 
-from . import clusters, core, measure, simmpi, simnet, sweeps
+from . import clusters, core, measure, registry, simmpi, simnet, sweeps
+from . import api, scenario
 from ._version import __version__
+from .api import Scenario
+from .scenario import ScenarioSpec, WorkloadSpec
 from .core import (
     MED,
     AlltoallPredictor,
@@ -43,13 +50,19 @@ from .clusters import fast_ethernet, get_cluster, gigabit_ethernet, myrinet
 from .measure import characterize_cluster
 
 __all__ = [
+    "api",
     "clusters",
     "core",
     "measure",
+    "registry",
+    "scenario",
     "simmpi",
     "simnet",
     "sweeps",
     "__version__",
+    "Scenario",
+    "ScenarioSpec",
+    "WorkloadSpec",
     "AlltoallPredictor",
     "AlltoallSample",
     "ContentionSignature",

@@ -1,0 +1,298 @@
+"""Unified facade: scenarios, registries and the paper's pipeline.
+
+This module is the one import an end user needs::
+
+    from repro.api import Scenario
+
+    sc = Scenario.from_file("examples/scenarios/edge_core_gige_stress.toml")
+    sweep = sc.sweep()                  # cached, parallel measurement grid
+    ch = sc.fit_signature()             # the paper's §8 procedure
+    t = sc.predict(64, 1_048_576)       # any (n, m) on that fabric
+
+and the single place new plugins are registered::
+
+    from repro.api import register_topology, register_cluster
+
+Everything the CLI, the experiment drivers and the bench harness do is
+routed through the same primitives exposed here, so a scenario defined
+as a TOML file behaves identically across all entry points.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .clusters.profiles import ClusterProfile, get_cluster
+from .core.predictor import AlltoallPredictor
+from .core.signature import AlltoallSample, ContentionSignature
+from .core.hockney import HockneyParams
+from .exceptions import ScenarioError
+from .measure.backends import get_backend
+from .measure.pipeline import Characterization, characterize_cluster
+from .measure.alltoall import measure_alltoall
+from .registry import (
+    ALGORITHMS,
+    BACKENDS,
+    CLUSTERS,
+    TOPOLOGIES,
+    register_algorithm,
+    register_backend,
+    register_cluster,
+    register_topology,
+)
+from .scenario import ScenarioSpec, TopologySpec, WorkloadSpec, load_scenario
+
+__all__ = [
+    "Scenario",
+    "ScenarioSpec",
+    "TopologySpec",
+    "WorkloadSpec",
+    "load_scenario",
+    "get_cluster",
+    "get_backend",
+    "list_clusters",
+    "list_topologies",
+    "list_algorithms",
+    "list_backends",
+    "register_topology",
+    "register_cluster",
+    "register_algorithm",
+    "register_backend",
+    "TOPOLOGIES",
+    "CLUSTERS",
+    "ALGORITHMS",
+    "BACKENDS",
+]
+
+
+def list_clusters() -> list[str]:
+    """Canonical names of all registered cluster profiles."""
+    return CLUSTERS.names()
+
+
+def list_topologies() -> list[str]:
+    """Canonical names of all registered topology factories."""
+    return TOPOLOGIES.names()
+
+
+def list_algorithms() -> list[str]:
+    """Canonical names of all registered All-to-All algorithms."""
+    return ALGORITHMS.names()
+
+
+def list_backends() -> list[str]:
+    """Canonical names of all registered measurement backends."""
+    return BACKENDS.names()
+
+
+class Scenario:
+    """A :class:`~repro.scenario.ScenarioSpec` bound to the pipeline.
+
+    Construct with :meth:`from_file`, :meth:`from_dict`,
+    :meth:`from_name` (a registered cluster with a default workload) or
+    directly from a spec.  The built profile and the fitted
+    characterisation are cached on the instance.
+    """
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        self._profile: ClusterProfile | None = None
+        self._characterization: Characterization | None = None
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "Scenario":
+        """Load a ``.toml``/``.json`` scenario file."""
+        return cls(ScenarioSpec.from_file(path))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        """Build from a plain dict (same schema as scenario files)."""
+        return cls(ScenarioSpec.from_dict(data))
+
+    @classmethod
+    def from_name(cls, cluster: str, **workload) -> "Scenario":
+        """A registered cluster under the default (or given) workload.
+
+        Keyword arguments become :class:`~repro.scenario.WorkloadSpec`
+        fields, e.g. ``Scenario.from_name("myrinet", nprocs=(8, 16))``.
+        """
+        canonical = CLUSTERS.canonical(cluster)
+        return cls(
+            ScenarioSpec(
+                name=canonical, base=canonical,
+                workload=WorkloadSpec(**workload),
+            )
+        )
+
+    # -- building blocks ------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def profile(self) -> ClusterProfile:
+        """The materialised cluster profile (built once)."""
+        if self._profile is None:
+            self._profile = self.spec.build_profile()
+        return self._profile
+
+    def backend(self, kind: str = "sim"):
+        """A measurement backend bound to this scenario's cluster."""
+        return get_backend(kind, self.profile)
+
+    # -- pipeline -------------------------------------------------------
+
+    def measure(
+        self,
+        n_processes: int | None = None,
+        msg_size: int | None = None,
+        *,
+        reps: int | None = None,
+        seed: int | None = None,
+        algorithm: str | None = None,
+    ) -> AlltoallSample:
+        """Measure one All-to-All point (defaults from the workload)."""
+        workload = self.spec.workload
+        return measure_alltoall(
+            self.profile,
+            n_processes if n_processes is not None else workload.fit_nprocs,
+            msg_size if msg_size is not None else workload.sizes[0],
+            reps=reps if reps is not None else workload.reps,
+            seed=seed if seed is not None else workload.seeds[0],
+            algorithm=algorithm if algorithm is not None else self.spec.algorithm,
+        )
+
+    def sweep_points(self):
+        """The workload grid as sweep points (nprocs x sizes x seeds)."""
+        from .sweeps.spec import SweepPoint
+
+        workload = self.spec.workload
+        return [
+            SweepPoint(
+                cluster=self.spec.name,
+                n_processes=n,
+                msg_size=m,
+                algorithm=self.spec.algorithm,
+                seed=seed,
+                reps=workload.reps,
+            )
+            for n in workload.nprocs
+            for m in workload.sizes
+            for seed in workload.seeds
+        ]
+
+    def sweep(self, *, runner=None):
+        """Run the workload grid through the sweep engine.
+
+        Cache keys incorporate both the built profile's fingerprint and
+        the scenario definition (:meth:`ScenarioSpec.cache_payload`);
+        misses fan out to worker processes even though the profile is
+        not registry-resolvable (workers rebuild it from the spec).
+        Returns a :class:`~repro.sweeps.SweepResult`.
+        """
+        from .sweeps.runner import default_runner
+
+        if runner is None:
+            runner = default_runner()
+        return runner.run_points(
+            self.sweep_points(), profile=self.profile, scenario=self.spec
+        )
+
+    def fit_signature(self, *, runner=None, force: bool = False, **kwargs) -> Characterization:
+        """Run the §8 characterisation on this scenario (cached).
+
+        Fits at n′ = ``workload.fit_nprocs`` over ``workload.sizes``
+        (>= 4 sizes required by the paper's regression).  Extra keyword
+        arguments pass through to
+        :func:`~repro.measure.pipeline.characterize_cluster`.
+        """
+        if self._characterization is not None and not force and not kwargs:
+            return self._characterization
+        workload = self.spec.workload
+        custom = bool(kwargs)
+        ch = characterize_cluster(
+            self.profile,
+            sample_nprocs=kwargs.pop("sample_nprocs", workload.fit_nprocs),
+            sample_sizes=kwargs.pop("sample_sizes", workload.sizes),
+            reps=kwargs.pop("reps", workload.reps),
+            seed=kwargs.pop("seed", workload.seeds[0]),
+            algorithm=kwargs.pop("algorithm", self.spec.algorithm),
+            runner=runner,
+            scenario=self.spec,
+            **kwargs,
+        )
+        if custom:
+            # Non-default parameters: hand back without poisoning the cache.
+            return ch
+        self._characterization = ch
+        return ch
+
+    def predictor(self, *, runner=None) -> AlltoallPredictor:
+        """Predictor backed by the fitted signature."""
+        return self.fit_signature(runner=runner).predictor
+
+    def predict(
+        self,
+        n_processes: int,
+        msg_size: int,
+        *,
+        source: str = "fit",
+        runner=None,
+    ) -> float:
+        """Predict an All-to-All completion time for any (n, m).
+
+        ``source="fit"`` uses the signature fitted on this scenario
+        (running the characterisation on first use); ``source="paper"``
+        uses the signature the paper reports for the base cluster.
+        """
+        if source == "fit":
+            signature = self.fit_signature(runner=runner).signature
+        elif source == "paper":
+            signature = self.paper_signature(msg_size)
+        else:
+            raise ValueError(f"unknown predict source {source!r} (fit|paper)")
+        return float(signature.predict(n_processes, msg_size))
+
+    def paper_signature(self, msg_size: int = 1_048_576) -> ContentionSignature:
+        """The paper-reported signature, with a reference Hockney pair.
+
+        Only available when the scenario is an unmodified registered
+        cluster carrying a :class:`~repro.clusters.profiles.PaperSignature`.
+        The Hockney β is evaluated at *msg_size* (framing overhead is
+        size-dependent).
+        """
+        profile = self.profile
+        if profile.paper is None:
+            raise ScenarioError(
+                f"scenario {self.name!r} has no paper-reported signature "
+                "(custom scenarios must be fitted: use source='fit')"
+            )
+        topology = profile.topology(2)
+        capacity = topology.links[topology.hosts[0].tx_link].capacity
+        # β must include the transport's wire-byte framing (envelope +
+        # per-segment overhead), or predictions undercut the simulator.
+        beta = profile.transport.effective_beta(int(msg_size), capacity)
+        return ContentionSignature(
+            gamma=profile.paper.gamma,
+            delta=profile.paper.delta,
+            threshold=profile.paper.threshold,
+            hockney=HockneyParams(
+                alpha=profile.transport.base_latency, beta=beta
+            ),
+        )
+
+    def describe(self) -> str:
+        """One-line summary for logs and the CLI."""
+        workload = self.spec.workload
+        origin = self.spec.base or f"topology:{self.spec.topology.factory}"
+        return (
+            f"{self.name} (from {origin}, algorithm={self.spec.algorithm}, "
+            f"{len(workload.nprocs)} nprocs x {len(workload.sizes)} sizes x "
+            f"{len(workload.seeds)} seeds, reps={workload.reps})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Scenario({self.name!r})"

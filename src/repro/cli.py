@@ -2,9 +2,15 @@
 
 Examples
 --------
-List experiments::
+List experiments and every registered cluster/topology/algorithm/backend::
 
     python -m repro.cli list
+    python -m repro.cli list clusters
+
+Run a declarative scenario file (sweep its workload grid, then fit the
+contention signature)::
+
+    python -m repro.cli run --scenario examples/scenarios/edge_core_gige_stress.toml
 
 Run one figure at smoke scale and save its CSV::
 
@@ -32,23 +38,106 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import __version__
-from .clusters.profiles import CLUSTERS, get_cluster
-from .core.hockney import HockneyParams
-from .core.signature import ContentionSignature
+from . import api, __version__
+from .exceptions import (
+    FittingError,
+    MeasurementError,
+    ScenarioError,
+    UnknownNameError,
+)
 from .experiments.registry import EXPERIMENTS, run_experiment
-from .measure.pipeline import characterize_cluster
 from .units import format_time, parse_size
 
+def _doc_summary(obj) -> str:
+    """First docstring line, or empty (user plugins may be undocumented)."""
+    lines = (obj.__doc__ or "").splitlines()
+    return lines[0].strip() if lines else ""
 
-def _cmd_list(_args: argparse.Namespace) -> int:
-    width = max(len(e) for e in EXPERIMENTS)
-    for exp_id, spec in EXPERIMENTS.items():
-        print(f"{exp_id:<{width}}  {spec.paper_ref:<14} {spec.description}")
+
+#: Sections of ``repro-alltoall list`` (name -> row enumerator).
+_LIST_SECTIONS = {
+    "experiments": lambda: [
+        (exp_id, f"{spec.paper_ref:<14} {spec.description}")
+        for exp_id, spec in EXPERIMENTS.items()
+    ],
+    "clusters": lambda: [
+        (name, api.CLUSTERS.get(name)().description)
+        for name in api.list_clusters()
+    ],
+    "topologies": lambda: [
+        (name, _doc_summary(api.TOPOLOGIES.get(name)))
+        for name in api.list_topologies()
+    ],
+    "algorithms": lambda: [
+        (name, _doc_summary(api.ALGORITHMS.get(name)))
+        for name in api.list_algorithms()
+    ],
+    "backends": lambda: [(name, "") for name in api.list_backends()],
+}
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    wanted = (
+        list(_LIST_SECTIONS) if args.what in (None, "all") else [args.what]
+    )
+    for position, section in enumerate(wanted):
+        rows = _LIST_SECTIONS[section]()
+        if len(wanted) > 1:
+            if position:
+                print()
+            print(f"{section}:")
+        width = max(len(name) for name, _ in rows)
+        for name, description in rows:
+            print(f"  {name:<{width}}  {description}".rstrip())
     return 0
 
 
+def _resolve_cluster_arg(name: str) -> tuple["api.Scenario", bool]:
+    """A cluster name (registry, alias-tolerant) or a scenario file path.
+
+    Only ``.toml``/``.json`` arguments are treated as files, so a
+    stray local file named after a cluster can never shadow the
+    registry.  Returns ``(scenario, from_file)``; the caller turns
+    lookup errors (:class:`UnknownNameError` / :class:`ScenarioError`)
+    into exit codes.
+    """
+    if name.endswith((".toml", ".json")):
+        return api.Scenario.from_file(name), True
+    return api.Scenario.from_name(name), False
+
+
+def _load_scenario(path: str) -> "api.Scenario | None":
+    """Load a scenario file, printing a clean error on failure."""
+    try:
+        return api.Scenario.from_file(path)
+    except (OSError, ScenarioError, UnknownNameError) as exc:
+        print(exc, file=sys.stderr)
+        return None
+
+
+def _print_sweep_summary(result, *, csv=None, jsonl=None) -> None:
+    """The shared simulated/cached/elapsed block of sweep-style output."""
+    print(f"simulated : {result.n_simulated}")
+    print(f"cached    : {result.n_cached}")
+    print(f"elapsed   : {result.elapsed:.2f} s")
+    if csv:
+        print(f"csv       : {result.save_csv(csv)}")
+    if jsonl:
+        print(f"jsonl     : {result.save_jsonl(jsonl)}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.scenario and args.experiment:
+        print(
+            "run takes an experiment id or --scenario FILE, not both",
+            file=sys.stderr,
+        )
+        return 2
+    if args.scenario:
+        return _run_scenario(args)
+    if not args.experiment:
+        print("run needs an experiment id or --scenario FILE", file=sys.stderr)
+        return 2
     result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
     print(result.render())
     if args.csv:
@@ -57,14 +146,56 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_scenario(args: argparse.Namespace) -> int:
+    """Sweep a scenario file's workload grid, then fit its signature."""
+    scenario = _load_scenario(args.scenario)
+    if scenario is None:
+        return 2
+    print(f"scenario  : {scenario.describe()}")
+    result = scenario.sweep()
+    print(f"points    : {result.n_points}")
+    _print_sweep_summary(result, csv=args.csv)
+    try:
+        ch = scenario.fit_signature()
+    except (FittingError, MeasurementError) as exc:
+        print(f"cannot fit signature: {exc}", file=sys.stderr)
+        return 1
+    print(f"hockney   : {ch.hockney_fit.params}")
+    print(f"signature : {ch.signature}")
+    return 0
+
+
 def _cmd_characterize(args: argparse.Namespace) -> int:
-    cluster = get_cluster(args.cluster)
-    ch = characterize_cluster(
-        cluster,
-        sample_nprocs=args.nprocs,
-        reps=args.reps,
-        seed=args.seed,
-    )
+    try:
+        scenario, from_file = _resolve_cluster_arg(args.cluster)
+    except (OSError, UnknownNameError, ScenarioError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    cluster = scenario.profile
+    workload = scenario.spec.workload
+    kwargs = {}
+    if not from_file:
+        # Plain cluster names keep the historical CLI defaults (n'=16,
+        # the pipeline's 8-size ladder); scenario files bring their own
+        # workload.
+        from .measure.pipeline import DEFAULT_SAMPLE_SIZES
+
+        kwargs["sample_sizes"] = DEFAULT_SAMPLE_SIZES
+    try:
+        ch = scenario.fit_signature(
+            sample_nprocs=(
+                args.nprocs
+                or (workload.fit_nprocs if from_file else 16)
+            ),
+            reps=args.reps if args.reps is not None
+            else (workload.reps if from_file else 2),
+            seed=args.seed if args.seed is not None
+            else (workload.seeds[0] if from_file else 0),
+            **kwargs,
+        )
+    except (FittingError, MeasurementError) as exc:
+        print(f"cannot fit signature: {exc}", file=sys.stderr)
+        return 1
     hockney = ch.hockney_fit.params
     sig = ch.signature
     print(f"cluster     : {cluster.name}")
@@ -81,24 +212,17 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
-    cluster = get_cluster(args.cluster)
-    if cluster.paper is None:
+    try:
+        scenario, _ = _resolve_cluster_arg(args.cluster)
+    except (OSError, UnknownNameError, ScenarioError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    size = parse_size(args.msg_size)
+    try:
+        signature = scenario.paper_signature(size)
+    except ScenarioError:
         print("no paper signature recorded for this cluster", file=sys.stderr)
         return 1
-    size = parse_size(args.msg_size)
-    # A reference Hockney pair per network class (paper-scale constants).
-    # β must include the transport's wire-byte framing (envelope +
-    # per-segment overhead), or predictions undercut the simulator.
-    alpha = cluster.transport.base_latency
-    topology = cluster.topology(2)
-    capacity = topology.links[topology.hosts[0].tx_link].capacity
-    beta = cluster.transport.effective_beta(size, capacity)
-    signature = ContentionSignature(
-        gamma=cluster.paper.gamma,
-        delta=cluster.paper.delta,
-        threshold=cluster.paper.threshold,
-        hockney=HockneyParams(alpha=alpha, beta=beta),
-    )
     time = signature.predict(args.nprocs, size)
     bound = signature.lower_bound(args.nprocs, size)
     print(f"predicted MPI_Alltoall({args.nprocs} procs, {size} B):")
@@ -116,14 +240,43 @@ def _csv_list(text: str) -> list[str]:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .sweeps import ResultCache, SweepRunner, SweepSpec, default_cache_dir
 
+    axis_flags = ("clusters", "nprocs", "sizes", "algorithms", "seeds", "reps")
+    if args.scenario:
+        given = [f"--{f}" for f in axis_flags if getattr(args, f) is not None]
+        if given:
+            print(
+                f"--scenario brings its own workload grid; drop {', '.join(given)}",
+                file=sys.stderr,
+            )
+            return 2
+        scenario = _load_scenario(args.scenario)
+        if scenario is None:
+            return 2
+        cache = None if args.no_cache else ResultCache(
+            args.cache_dir or default_cache_dir()
+        )
+        try:
+            runner = SweepRunner(workers=args.workers, cache=cache)
+        except ValueError as exc:
+            print(f"invalid sweep options: {exc}", file=sys.stderr)
+            return 2
+        result = scenario.sweep(runner=runner)
+        print(f"sweep     : {scenario.describe()}")
+        print(f"workers   : {runner.workers}")
+        print(f"cache     : {cache.root if cache is not None else 'disabled'}")
+        _print_sweep_summary(result, csv=args.csv, jsonl=args.jsonl)
+        return 0
+
     try:
         spec = SweepSpec(
-            clusters=tuple(_csv_list(args.clusters)),
-            nprocs=tuple(int(n) for n in _csv_list(args.nprocs)),
-            sizes=tuple(parse_size(s) for s in _csv_list(args.sizes)),
-            algorithms=tuple(_csv_list(args.algorithms)),
-            seeds=tuple(int(s) for s in _csv_list(args.seeds)),
-            reps=args.reps,
+            clusters=tuple(_csv_list(args.clusters or "gigabit-ethernet")),
+            nprocs=tuple(int(n) for n in _csv_list(args.nprocs or "4,8")),
+            sizes=tuple(
+                parse_size(s) for s in _csv_list(args.sizes or "2kB,32kB,256kB")
+            ),
+            algorithms=tuple(_csv_list(args.algorithms or "direct")),
+            seeds=tuple(int(s) for s in _csv_list(args.seeds or "0")),
+            reps=args.reps if args.reps is not None else 1,
         )
     except ValueError as exc:
         print(f"invalid sweep spec: {exc}", file=sys.stderr)
@@ -146,13 +299,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"sweep     : {spec.describe()}")
     print(f"workers   : {runner.workers}")
     print(f"cache     : {cache.root if cache is not None else 'disabled'}")
-    print(f"simulated : {result.n_simulated}")
-    print(f"cached    : {result.n_cached}")
-    print(f"elapsed   : {result.elapsed:.2f} s")
-    if args.csv:
-        print(f"csv       : {result.save_csv(args.csv)}")
-    if args.jsonl:
-        print(f"jsonl     : {result.save_jsonl(args.jsonl)}")
+    _print_sweep_summary(result, csv=args.csv, jsonl=args.jsonl)
     if not args.csv and not args.jsonl:
         slowest = sorted(
             result.results, key=lambda r: r.sample.mean_time, reverse=True
@@ -176,11 +323,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_list = sub.add_parser("list", help="list reproducible experiments")
+    p_list = sub.add_parser(
+        "list",
+        help="list experiments and registered clusters/topologies/"
+             "algorithms/backends",
+    )
+    p_list.add_argument(
+        "what", nargs="?", default="all",
+        choices=["all", *_LIST_SECTIONS],
+        help="section to list (default: all)",
+    )
     p_list.set_defaults(func=_cmd_list)
 
-    p_run = sub.add_parser("run", help="run one experiment")
-    p_run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    p_run = sub.add_parser("run", help="run one experiment or a scenario file")
+    p_run.add_argument(
+        "experiment", nargs="?", choices=sorted(EXPERIMENTS), default=None
+    )
+    p_run.add_argument(
+        "--scenario", default=None, metavar="FILE",
+        help="sweep + characterise a declarative scenario (.toml/.json)",
+    )
     p_run.add_argument("--scale", default="default",
                        choices=["smoke", "default", "full"])
     p_run.add_argument("--seed", type=int, default=0)
@@ -190,16 +352,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_char = sub.add_parser(
         "characterize", help="fit a cluster's contention signature"
     )
-    p_char.add_argument("cluster", choices=sorted(CLUSTERS))
-    p_char.add_argument("--nprocs", type=int, default=16)
-    p_char.add_argument("--reps", type=int, default=2)
-    p_char.add_argument("--seed", type=int, default=0)
+    p_char.add_argument(
+        "cluster",
+        help="registered cluster name (alias-tolerant) or scenario file",
+    )
+    p_char.add_argument("--nprocs", type=int, default=None)
+    p_char.add_argument("--reps", type=int, default=None)
+    p_char.add_argument("--seed", type=int, default=None)
     p_char.set_defaults(func=_cmd_characterize)
 
     p_pred = sub.add_parser(
         "predict", help="predict an All-to-All time from paper signatures"
     )
-    p_pred.add_argument("cluster", choices=sorted(CLUSTERS))
+    p_pred.add_argument(
+        "cluster",
+        help="registered cluster name (alias-tolerant) or scenario file",
+    )
     p_pred.add_argument("nprocs", type=int)
     p_pred.add_argument("msg_size", help="bytes or size string like 256kB")
     p_pred.set_defaults(func=_cmd_predict)
@@ -209,24 +377,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a measurement grid on a worker pool with result caching",
     )
     p_sweep.add_argument(
-        "--clusters", default="gigabit-ethernet",
-        help="comma-separated cluster names",
+        "--scenario", default=None, metavar="FILE",
+        help="sweep a declarative scenario file instead of the axis flags",
     )
     p_sweep.add_argument(
-        "--nprocs", default="4,8", help="comma-separated process counts"
+        "--clusters", default=None,
+        help="comma-separated cluster names (default: gigabit-ethernet)",
     )
     p_sweep.add_argument(
-        "--sizes", default="2kB,32kB,256kB",
-        help="comma-separated message sizes (bytes or strings like 256kB)",
+        "--nprocs", default=None,
+        help="comma-separated process counts (default: 4,8)",
     )
     p_sweep.add_argument(
-        "--algorithms", default="direct",
-        help="comma-separated algorithm names (direct,rounds,bruck,ring)",
+        "--sizes", default=None,
+        help="comma-separated message sizes, bytes or strings like 256kB "
+             "(default: 2kB,32kB,256kB)",
     )
     p_sweep.add_argument(
-        "--seeds", default="0", help="comma-separated base seeds"
+        "--algorithms", default=None,
+        help="comma-separated algorithm names (default: direct; see "
+             "`list algorithms`)",
     )
-    p_sweep.add_argument("--reps", type=int, default=1)
+    p_sweep.add_argument(
+        "--seeds", default=None, help="comma-separated base seeds (default: 0)"
+    )
+    p_sweep.add_argument("--reps", type=int, default=None,
+                         help="repetitions per point (default: 1)")
     p_sweep.add_argument(
         "--workers", type=int, default=1, help="worker process count"
     )

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
+from ..registry import CLUSTERS as _CLUSTER_REGISTRY
+from ..registry import DeprecatedMapping, register_cluster
 from ..simnet.entities import LinkKind
 from ..simnet.loss import LossParams
 from ..simnet.penalty import HolPenalty
@@ -120,6 +122,7 @@ class ClusterProfile:
         return replace(self, **kwargs)
 
 
+@register_cluster("fast-ethernet", aliases=("fe", "icluster2-fe"))
 def fast_ethernet() -> ClusterProfile:
     """icluster2-like Fast Ethernet: 5 edge FE switches + Gigabit core.
 
@@ -176,6 +179,7 @@ def fast_ethernet() -> ClusterProfile:
     )
 
 
+@register_cluster("gigabit-ethernet", aliases=("gige", "gdx"))
 def gigabit_ethernet() -> ClusterProfile:
     """GdX-like Gigabit Ethernet: one logical switch, finite backplane.
 
@@ -230,6 +234,7 @@ def gigabit_ethernet() -> ClusterProfile:
     )
 
 
+@register_cluster("myrinet", aliases=("gm", "icluster2-myrinet"))
 def myrinet() -> ClusterProfile:
     """icluster2-like Myrinet 2000 with the gm driver.
 
@@ -279,18 +284,20 @@ def myrinet() -> ClusterProfile:
     )
 
 
-CLUSTERS: dict[str, Callable[[], ClusterProfile]] = {
-    "fast-ethernet": fast_ethernet,
-    "gigabit-ethernet": gigabit_ethernet,
-    "myrinet": myrinet,
-}
+#: Deprecated dict facade; the cluster registry is the source of truth.
+CLUSTERS = DeprecatedMapping(
+    _CLUSTER_REGISTRY,
+    "repro.clusters.profiles.CLUSTERS",
+    "repro.registry.CLUSTERS (or repro.api.list_clusters())",
+)
 
 
 def get_cluster(name: str) -> ClusterProfile:
-    """Look a profile up by name (``fast-ethernet`` etc.)."""
-    try:
-        factory = CLUSTERS[name]
-    except KeyError:
-        known = ", ".join(sorted(CLUSTERS))
-        raise KeyError(f"unknown cluster {name!r}; known: {known}") from None
-    return factory()
+    """Look a profile up by name (``fast-ethernet`` etc.).
+
+    Lookup is alias- and spelling-tolerant (``fast_ethernet``,
+    ``Fast-Ethernet`` and the registered alias ``fe`` all resolve);
+    unknown names raise :class:`~repro.exceptions.UnknownNameError`
+    listing the registered set.
+    """
+    return _CLUSTER_REGISTRY.get(name)()

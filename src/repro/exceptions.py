@@ -10,11 +10,40 @@ __all__ = [
     "FittingError",
     "MeasurementError",
     "BackendUnavailableError",
+    "RegistryError",
+    "DuplicateNameError",
+    "UnknownNameError",
+    "ScenarioError",
 ]
 
 
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
+
+
+class RegistryError(ReproError):
+    """A plugin-registry operation failed."""
+
+
+class DuplicateNameError(RegistryError, ValueError):
+    """A name (or alias) is already registered and ``replace`` was not set."""
+
+
+class UnknownNameError(RegistryError, KeyError, ValueError):
+    """A registry lookup failed.
+
+    Inherits both :class:`KeyError` (the historical ``get_cluster`` /
+    ``run_experiment`` contract) and :class:`ValueError` (the historical
+    ``get_backend`` / ``SweepSpec`` contract) so pre-registry call sites
+    keep catching what they always caught.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0] if self.args else ""
+
+
+class ScenarioError(ReproError, ValueError):
+    """A scenario definition is malformed or inconsistent."""
 
 
 class SimulationError(ReproError):

@@ -12,9 +12,9 @@ import numpy as np
 
 from ..clusters.profiles import ClusterProfile
 from ..core.signature import AlltoallSample
-from ..exceptions import MeasurementError
+from ..exceptions import MeasurementError, UnknownNameError
+from ..registry import ALGORITHMS
 from ..simnet.rng import RngFactory
-from ..simmpi.collectives import ALGORITHMS
 
 __all__ = ["measure_alltoall", "sweep_sizes", "sweep_grid"]
 
@@ -36,12 +36,10 @@ def measure_alltoall(
     if reps < 1:
         raise MeasurementError("reps must be >= 1")
     try:
-        program = ALGORITHMS[algorithm]
-    except KeyError:
-        known = ", ".join(sorted(ALGORITHMS))
-        raise MeasurementError(
-            f"unknown algorithm {algorithm!r}; known: {known}"
-        ) from None
+        program = ALGORITHMS.get(algorithm)
+        algorithm = ALGORITHMS.canonical(algorithm)
+    except UnknownNameError as exc:
+        raise MeasurementError(exc.args[0]) from None
     factory = RngFactory(seed)
     times = np.empty(reps)
     for rep in range(reps):
@@ -60,16 +58,19 @@ def measure_alltoall(
     )
 
 
-def _run_points(cluster, points, runner):
+def _run_points(cluster, points, runner, scenario=None):
     """Route points through a sweep runner (default: process-wide one).
 
     Imported lazily: :mod:`repro.sweeps` builds on this module.
+    *scenario* (a :class:`~repro.scenario.ScenarioSpec`) is forwarded so
+    cache keys incorporate the scenario definition and misses can fan
+    out to worker processes even for non-registry profiles.
     """
     from ..sweeps.runner import default_runner
 
     if runner is None:
         runner = default_runner()
-    return runner.run_points(points, profile=cluster).samples
+    return runner.run_points(points, profile=cluster, scenario=scenario).samples
 
 
 def sweep_sizes(
@@ -81,6 +82,7 @@ def sweep_sizes(
     seed: int = 0,
     algorithm: str = "direct",
     runner=None,
+    scenario=None,
 ) -> list[AlltoallSample]:
     """Message-size sweep at fixed n (the fit figures 6/9/12).
 
@@ -105,7 +107,7 @@ def sweep_sizes(
     except ValueError as exc:
         # Preserve the measure layer's exception hierarchy.
         raise MeasurementError(str(exc)) from None
-    return _run_points(cluster, points, runner)
+    return _run_points(cluster, points, runner, scenario)
 
 
 def sweep_grid(
@@ -117,6 +119,7 @@ def sweep_grid(
     seed: int = 0,
     algorithm: str = "direct",
     runner=None,
+    scenario=None,
 ) -> list[AlltoallSample]:
     """(n, m) grid sweep (the surface figures 5/7/10/13).
 
@@ -141,4 +144,4 @@ def sweep_grid(
     except ValueError as exc:
         # Preserve the measure layer's exception hierarchy.
         raise MeasurementError(str(exc)) from None
-    return _run_points(cluster, points, runner)
+    return _run_points(cluster, points, runner, scenario)

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..clusters.profiles import ClusterProfile
 from ..exceptions import BackendUnavailableError
+from ..registry import BACKENDS, register_backend
 from .alltoall import measure_alltoall
 from .pingpong import measure_pingpong
 
@@ -116,12 +117,24 @@ class Mpi4pyBackend:
         return float(np.mean(samples))
 
 
+@register_backend("sim", aliases=("simulator",))
+def _make_sim_backend(cluster: ClusterProfile | None = None) -> SimBackend:
+    if cluster is None:
+        raise ValueError("sim backend requires a cluster profile")
+    return SimBackend(cluster)
+
+
+@register_backend("mpi4py", aliases=("mpi",))
+def _make_mpi4py_backend(cluster: ClusterProfile | None = None) -> Mpi4pyBackend:
+    return Mpi4pyBackend()
+
+
 def get_backend(kind: str, cluster: ClusterProfile | None = None):
-    """Backend factory: ``"sim"`` (needs a cluster) or ``"mpi4py"``."""
-    if kind == "sim":
-        if cluster is None:
-            raise ValueError("sim backend requires a cluster profile")
-        return SimBackend(cluster)
-    if kind == "mpi4py":
-        return Mpi4pyBackend()
-    raise ValueError(f"unknown backend {kind!r}")
+    """Backend factory, resolved through the backend registry.
+
+    Built-ins: ``"sim"`` (needs a cluster) and ``"mpi4py"``; register
+    additional backends with ``@repro.api.register_backend``.  Unknown
+    kinds raise :class:`~repro.exceptions.UnknownNameError` (a
+    ``ValueError``, as this function always raised).
+    """
+    return BACKENDS.get(kind)(cluster)

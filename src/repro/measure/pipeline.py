@@ -58,6 +58,7 @@ def characterize_cluster(
     threshold: int | str = "auto",
     algorithm: str = "direct",
     runner=None,
+    scenario=None,
 ) -> Characterization:
     """Run the full §8 procedure on a virtual cluster.
 
@@ -67,7 +68,9 @@ def characterize_cluster(
 
     The All-to-All sweep goes through the sweep engine; pass *runner*
     (a :class:`~repro.sweeps.SweepRunner`) to parallelise it or serve
-    repeated characterisations from the result cache.
+    repeated characterisations from the result cache.  *scenario* (a
+    :class:`~repro.scenario.ScenarioSpec`) is forwarded to the engine so
+    scenario-defined clusters key the cache on their full definition.
     """
     pingpong = measure_pingpong(
         cluster, reps=pingpong_reps, seed=seed
@@ -81,6 +84,7 @@ def characterize_cluster(
         seed=seed,
         algorithm=algorithm,
         runner=runner,
+        scenario=scenario,
     )
     signature_fit = fit_signature(
         samples,

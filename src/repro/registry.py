@@ -1,0 +1,236 @@
+"""Plugin registries: the repo's extension points as data, not edits.
+
+Every axis a scenario can vary — the fabric shape, the calibrated
+cluster, the collective algorithm, the measurement backend — is a named
+entry in a :class:`Registry`.  Core modules register their built-ins at
+import time with the ``@register_*`` decorators; downstream code (and
+user scenarios, see :mod:`repro.scenario`) adds new entries the same
+way, with zero core-module edits::
+
+    from repro.api import register_topology
+
+    @register_topology("torus-2d")
+    def torus_2d(n_hosts, *, nic_bandwidth, ring_bandwidth):
+        ...build and return a finalized Topology...
+
+Lookups are *normalised*: case is folded and ``_``/space collapse to
+``-``, so ``get_cluster("Fast_Ethernet")`` resolves the canonical
+``fast-ethernet`` entry.  Explicit aliases resolve too, but enumeration
+(:meth:`Registry.names`) lists canonical names only.
+
+The four process-wide registries live here (:data:`TOPOLOGIES`,
+:data:`CLUSTERS`, :data:`ALGORITHMS`, :data:`BACKENDS`); the legacy
+module-level dicts (``repro.clusters.profiles.CLUSTERS``,
+``repro.simmpi.collectives.ALGORITHMS``) remain importable as
+:class:`DeprecatedMapping` views that warn on access.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Iterator, Mapping
+from typing import Callable, Generic, TypeVar
+
+from .exceptions import DuplicateNameError, UnknownNameError
+
+__all__ = [
+    "Registry",
+    "DeprecatedMapping",
+    "normalize_name",
+    "TOPOLOGIES",
+    "CLUSTERS",
+    "ALGORITHMS",
+    "BACKENDS",
+    "register_topology",
+    "register_cluster",
+    "register_algorithm",
+    "register_backend",
+]
+
+T = TypeVar("T")
+
+
+def normalize_name(name: str) -> str:
+    """Fold case and separator style (``Fast_Ethernet`` → ``fast-ethernet``)."""
+    return "-".join(str(name).strip().lower().replace("_", " ").replace("-", " ").split())
+
+
+class Registry(Generic[T]):
+    """A named collection of plugins with alias-tolerant lookup.
+
+    Parameters
+    ----------
+    kind:
+        Singular noun used in error messages (``"cluster"`` →
+        ``unknown cluster 'x'; known: ...``).
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, T] = {}  # canonical name -> object
+        self._aliases: dict[str, str] = {}  # normalised alias -> canonical
+
+    # -- registration ---------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        obj: T | None = None,
+        *,
+        aliases: tuple[str, ...] = (),
+        replace: bool = False,
+    ):
+        """Register *obj* under *name* (decorator form when *obj* is omitted).
+
+        *aliases* are extra lookup names; *replace* allows overwriting an
+        existing entry (otherwise :class:`DuplicateNameError`).
+        """
+        canonical = normalize_name(name)
+        if not canonical:
+            raise ValueError(f"{self.kind} name must be non-empty")
+
+        def _register(target: T) -> T:
+            all_names = {canonical, *(normalize_name(a) for a in aliases)}
+            if not replace:
+                taken = sorted(a for a in all_names if a in self._aliases)
+                if taken:
+                    raise DuplicateNameError(
+                        f"{self.kind} name(s) already registered: {taken} "
+                        f"(pass replace=True to overwrite)"
+                    )
+            self._entries[canonical] = target
+            for alias in all_names:
+                self._aliases[alias] = canonical
+            return target
+
+        if obj is None:
+            return _register
+        return _register(obj)
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry and all its aliases (testing/ablation helper)."""
+        canonical = self.canonical(name)
+        del self._entries[canonical]
+        self._aliases = {a: c for a, c in self._aliases.items() if c != canonical}
+
+    # -- lookup ---------------------------------------------------------
+
+    def canonical(self, name: str) -> str:
+        """Resolve *name* (canonical, alias, or near-miss) to the canonical name."""
+        resolved = self._aliases.get(normalize_name(name))
+        if resolved is None:
+            known = ", ".join(self.names())
+            raise UnknownNameError(
+                f"unknown {self.kind} {str(name)!r}; known: {known}"
+            )
+        return resolved
+
+    def get(self, name: str) -> T:
+        """Look an entry up; raises :class:`UnknownNameError` with the known set."""
+        return self._entries[self.canonical(name)]
+
+    def names(self) -> list[str]:
+        """Sorted canonical names."""
+        return sorted(self._entries)
+
+    def items(self) -> list[tuple[str, T]]:
+        """Sorted ``(canonical name, object)`` pairs."""
+        return sorted(self._entries.items())
+
+    def __contains__(self, name: object) -> bool:
+        try:
+            self.canonical(str(name))
+        except UnknownNameError:
+            return False
+        return True
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Registry({self.kind!r}, {self.names()})"
+
+
+class DeprecatedMapping(Mapping):
+    """Read-only dict facade over a :class:`Registry` that warns on use.
+
+    Keeps ``CLUSTERS["myrinet"]``, ``sorted(ALGORITHMS)`` and
+    ``name in CLUSTERS`` working for pre-registry call sites while
+    steering them to the registry API.
+    """
+
+    def __init__(self, registry: Registry, old_name: str, new_name: str) -> None:
+        self._registry = registry
+        self._old = old_name
+        self._new = new_name
+
+    def _warn(self) -> None:
+        warnings.warn(
+            f"{self._old} is deprecated; use {self._new} instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __getitem__(self, key: str):
+        self._warn()
+        try:
+            return self._registry.get(key)
+        except UnknownNameError as exc:
+            raise KeyError(exc.args[0]) from None
+
+    def __iter__(self) -> Iterator[str]:
+        self._warn()
+        return iter(self._registry.names())
+
+    def __len__(self) -> int:
+        self._warn()
+        return len(self._registry)
+
+    def __contains__(self, key: object) -> bool:
+        self._warn()
+        return key in self._registry
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DeprecatedMapping({self._old} -> {self._new})"
+
+
+# ----------------------------------------------------------------------
+# Process-wide registries.  Built-ins register at module import time
+# (importing `repro` imports every core module, so the registries are
+# fully populated whenever any public API is reachable).
+# ----------------------------------------------------------------------
+
+#: ``f(n_hosts, **params) -> Topology`` fabric builders.
+TOPOLOGIES: Registry[Callable] = Registry("topology")
+
+#: ``f() -> ClusterProfile`` calibrated cluster factories.
+CLUSTERS: Registry[Callable] = Registry("cluster")
+
+#: All-to-All rank programs (``f(ctx, msg_size)`` generators).
+ALGORITHMS: Registry[Callable] = Registry("algorithm")
+
+#: ``f(cluster=None) -> backend`` measurement-backend factories.
+BACKENDS: Registry[Callable] = Registry("backend")
+
+
+def register_topology(name: str, *, aliases: tuple[str, ...] = (), replace: bool = False):
+    """Decorator: register a topology factory ``f(n_hosts, **params)``."""
+    return TOPOLOGIES.register(name, aliases=aliases, replace=replace)
+
+
+def register_cluster(name: str, *, aliases: tuple[str, ...] = (), replace: bool = False):
+    """Decorator: register a cluster-profile factory ``f() -> ClusterProfile``."""
+    return CLUSTERS.register(name, aliases=aliases, replace=replace)
+
+
+def register_algorithm(name: str, *, aliases: tuple[str, ...] = (), replace: bool = False):
+    """Decorator: register an All-to-All rank program."""
+    return ALGORITHMS.register(name, aliases=aliases, replace=replace)
+
+
+def register_backend(name: str, *, aliases: tuple[str, ...] = (), replace: bool = False):
+    """Decorator: register a measurement-backend factory."""
+    return BACKENDS.register(name, aliases=aliases, replace=replace)

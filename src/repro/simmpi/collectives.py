@@ -17,13 +17,17 @@ found in 2006-era MPI libraries, plus two classic baselines:
   (n-s) blocks one hop right; the paper's §4 explains why such forwarding
   only wins when latency dominates bandwidth.
 
-All take ``(ctx, msg_size)`` and are registered in :data:`ALGORITHMS`.
+All take ``(ctx, msg_size)`` and are registered in the algorithm
+registry (:data:`repro.registry.ALGORITHMS`); add new algorithms with
+``@repro.api.register_algorithm("name")`` — no edit here required.
 """
 
 from __future__ import annotations
 
 from typing import Any, Generator
 
+from ..registry import ALGORITHMS as _ALGORITHM_REGISTRY
+from ..registry import DeprecatedMapping, register_algorithm
 from .runtime import RankContext
 
 __all__ = [
@@ -38,6 +42,7 @@ __all__ = [
 TAG_ALLTOALL = 77
 
 
+@register_algorithm("direct", aliases=("linear",))
 def alltoall_direct(
     ctx: RankContext, msg_size: int
 ) -> Generator[Any, None, None]:
@@ -61,6 +66,7 @@ def alltoall_direct(
     yield requests
 
 
+@register_algorithm("rounds", aliases=("pairwise",))
 def alltoall_rounds(
     ctx: RankContext, msg_size: int
 ) -> Generator[Any, None, None]:
@@ -73,6 +79,7 @@ def alltoall_rounds(
         yield [send_req, recv_req]
 
 
+@register_algorithm("bruck")
 def alltoall_bruck(
     ctx: RankContext, msg_size: int
 ) -> Generator[Any, None, None]:
@@ -99,6 +106,7 @@ def alltoall_bruck(
         k += 1
 
 
+@register_algorithm("ring")
 def alltoall_ring(
     ctx: RankContext, msg_size: int
 ) -> Generator[Any, None, None]:
@@ -119,9 +127,9 @@ def alltoall_ring(
         yield [send_req, recv_req]
 
 
-ALGORITHMS = {
-    "direct": alltoall_direct,
-    "rounds": alltoall_rounds,
-    "bruck": alltoall_bruck,
-    "ring": alltoall_ring,
-}
+#: Deprecated dict facade; the algorithm registry is the source of truth.
+ALGORITHMS = DeprecatedMapping(
+    _ALGORITHM_REGISTRY,
+    "repro.simmpi.collectives.ALGORITHMS",
+    "repro.registry.ALGORITHMS (or repro.api.list_algorithms())",
+)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import networkx as nx
 
 from ..exceptions import RoutingError
+from ..registry import register_topology
 from .entities import Host, Link, LinkKind, Switch
 
 __all__ = ["Topology", "single_switch", "edge_core"]
@@ -154,6 +155,7 @@ class Topology:
         )
 
 
+@register_topology("single-switch", aliases=("star",))
 def single_switch(
     n_hosts: int,
     *,
@@ -171,6 +173,7 @@ def single_switch(
     return topo.finalize()
 
 
+@register_topology("edge-core", aliases=("tree",))
 def edge_core(
     n_hosts: int,
     *,

@@ -130,13 +130,27 @@ def profile_fingerprint(
     }
 
 
-def point_key(point: SweepPoint, fingerprint: dict[str, object]) -> str:
-    """SHA-256 content hash identifying one point's result."""
+def point_key(
+    point: SweepPoint,
+    fingerprint: dict[str, object],
+    scenario: dict[str, object] | None = None,
+) -> str:
+    """SHA-256 content hash identifying one point's result.
+
+    *scenario* is the definition payload of a user scenario
+    (:meth:`repro.scenario.ScenarioSpec.cache_payload`) when the point
+    was produced by one.  Including it guarantees two different scenario
+    definitions never collide on a key, even if their built profiles
+    probe identically at this point's process count.  ``None`` (plain
+    registry clusters) leaves keys exactly as before.
+    """
     payload = {
         "cache_version": CACHE_VERSION,
         "point": point.key_payload(),
         "profile": fingerprint,
     }
+    if scenario is not None:
+        payload["scenario"] = _jsonable(scenario)
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
 

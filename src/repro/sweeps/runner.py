@@ -18,6 +18,7 @@ fingerprint); otherwise they fall back to in-process execution.
 
 from __future__ import annotations
 
+import functools
 import json
 import multiprocessing
 import os
@@ -26,9 +27,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..analysis.io import write_csv
-from ..clusters.profiles import CLUSTERS, ClusterProfile, get_cluster
+from ..clusters.profiles import ClusterProfile, get_cluster
 from ..core.signature import AlltoallSample
 from ..measure.alltoall import measure_alltoall
+from ..registry import CLUSTERS
+from ..scenario import ScenarioSpec
 from .cache import ResultCache, point_key, profile_fingerprint
 from .spec import SweepPoint, SweepSpec
 
@@ -46,6 +49,24 @@ def _execute_point(point: SweepPoint) -> AlltoallSample:
     cluster = get_cluster(point.cluster)
     return measure_alltoall(
         cluster,
+        point.n_processes,
+        point.msg_size,
+        reps=point.reps,
+        seed=point.seed,
+        algorithm=point.algorithm,
+    )
+
+
+def _execute_scenario_point(spec_dict: dict, point: SweepPoint) -> AlltoallSample:
+    """Simulate one scenario point in a worker process.
+
+    Scenario profiles hold topology closures and cannot be pickled, but
+    their *specs* serialise to plain dicts: each worker rebuilds the
+    profile from the dict, which is deterministic by construction.
+    """
+    profile = ScenarioSpec.from_dict(spec_dict).build_profile()
+    return measure_alltoall(
+        profile,
         point.n_processes,
         point.msg_size,
         reps=point.reps,
@@ -153,7 +174,7 @@ class SweepRunner:
         """Resolve every point of *spec* (cache hits + fresh simulations)."""
         unknown = [c for c in spec.clusters if c not in CLUSTERS]
         if unknown:
-            known = ", ".join(sorted(CLUSTERS))
+            known = ", ".join(CLUSTERS.names())
             raise KeyError(f"unknown clusters {unknown}; known: {known}")
         result = self.run_points(spec.points())
         result.spec = spec
@@ -164,6 +185,7 @@ class SweepRunner:
         points: list[SweepPoint],
         *,
         profile: ClusterProfile | None = None,
+        scenario: ScenarioSpec | None = None,
     ) -> SweepResult:
         """Resolve an explicit point list.
 
@@ -171,8 +193,19 @@ class SweepRunner:
         ``cluster`` field is used only for cache keying/labels); without
         it, cluster names are resolved through the registry, which is
         what allows fan-out to worker processes.
+
+        With *scenario* set (a :class:`~repro.scenario.ScenarioSpec`),
+        the profile defaults to ``scenario.build_profile()``, cache keys
+        additionally hash the scenario definition (so two different
+        scenarios can never collide), and misses fan out to worker
+        processes by shipping the spec dict instead of the profile.
         """
         start = time.perf_counter()
+        if profile is None and scenario is not None:
+            profile = scenario.build_profile()
+        scenario_payload = (
+            scenario.cache_payload() if scenario is not None else None
+        )
         samples: dict[int, AlltoallSample] = {}
         cached: set[int] = set()
         keys: list[str] = []
@@ -193,7 +226,10 @@ class SweepRunner:
                     )
                 return fingerprints[memo]
 
-            keys = [point_key(p, fingerprint_for(p)) for p in points]
+            keys = [
+                point_key(p, fingerprint_for(p), scenario_payload)
+                for p in points
+            ]
             for idx, key in enumerate(keys):
                 hit = self.cache.get(key)
                 if hit is not None:
@@ -201,7 +237,7 @@ class SweepRunner:
                     cached.add(idx)
         misses = [idx for idx in range(len(points)) if idx not in samples]
 
-        for idx, sample in self._execute(misses, points, profile):
+        for idx, sample in self._execute(misses, points, profile, scenario):
             samples[idx] = sample
             if self.cache is not None:
                 self.cache.put(keys[idx], points[idx], sample)
@@ -218,13 +254,41 @@ class SweepRunner:
 
     # -- execution ------------------------------------------------------
 
+    @staticmethod
+    def _spawn_safe(points, cluster_names) -> bool:
+        """Whether fresh worker processes can resolve the referenced plugins.
+
+        ``fork`` workers inherit the parent's registries, so anything
+        resolvable here is resolvable there; ``spawn``/``forkserver``
+        workers start from a bare ``import repro`` and only see built-in
+        registrations, so points referencing user-registered clusters or
+        algorithms must stay in-process.
+        """
+        if multiprocessing.get_start_method() == "fork":
+            return True
+        from ..registry import ALGORITHMS
+
+        objects = [CLUSTERS.get(n) for n in cluster_names]
+        objects += [ALGORITHMS.get(p.algorithm) for p in points]
+        return all(
+            (getattr(obj, "__module__", "") or "").split(".")[0] == "repro"
+            for obj in objects
+        )
+
     def _parallel_safe(
         self, profile: ClusterProfile | None, points: list[SweepPoint]
     ) -> bool:
         """Whether misses may run in worker processes (registry-resolvable)."""
+        names = {p.cluster for p in points} if profile is None else {profile.name}
+        if any(name not in CLUSTERS for name in names):
+            return False
+        if not self._spawn_safe(points, names):
+            return False
         if profile is None:
             return True
-        if profile.name not in CLUSTERS:
+        if CLUSTERS.canonical(profile.name) != profile.name:
+            # The name resolves through an alias to a different profile;
+            # rebuilding by name would silently swap fabrics.
             return False
         # A profile object is safe to re-build by name only if it is
         # indistinguishable from the registry one *at every process
@@ -235,19 +299,50 @@ class SweepRunner:
             get_cluster(profile.name), probe_sizes=sizes
         ) == profile_fingerprint(profile, probe_sizes=sizes)
 
+    @staticmethod
+    def _scenario_parallel_safe(scenario: ScenarioSpec) -> bool:
+        """Whether workers can rebuild *scenario* from its spec dict.
+
+        ``fork`` workers inherit the parent's registries, so any
+        scenario is safe; ``spawn``/``forkserver`` workers start from a
+        bare ``import repro`` and only see built-in registrations —
+        scenarios referencing user plugins fall back to in-process
+        execution there instead of crashing mid-sweep.
+        """
+        if multiprocessing.get_start_method() == "fork":
+            return True
+        return scenario.uses_only_builtin_plugins()
+
     def _execute(
         self,
         misses: list[int],
         points: list[SweepPoint],
         profile: ClusterProfile | None,
+        scenario: ScenarioSpec | None = None,
     ):
         """Yield ``(index, sample)`` for every cache-missed point."""
         if not misses:
             return
+        parallel_wanted = self.workers > 1 and len(misses) > 1
         if (
-            self.workers > 1
-            and len(misses) > 1
-            and self._parallel_safe(profile, [points[i] for i in misses])
+            parallel_wanted
+            and scenario is not None
+            and self._scenario_parallel_safe(scenario)
+        ):
+            # Scenario specs are picklable even when their profiles are
+            # not: workers rebuild the profile from the spec dict.
+            todo = [points[idx] for idx in misses]
+            worker = functools.partial(
+                _execute_scenario_point, scenario.to_dict()
+            )
+            with multiprocessing.Pool(min(self.workers, len(todo))) as pool:
+                for idx, sample in zip(
+                    misses, pool.map(worker, todo, chunksize=1)
+                ):
+                    yield idx, sample
+            return
+        if parallel_wanted and self._parallel_safe(
+            profile, [points[i] for i in misses]
         ):
             todo = [points[idx] for idx in misses]
             with multiprocessing.Pool(min(self.workers, len(todo))) as pool:

@@ -15,7 +15,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
-from ..simmpi.collectives import ALGORITHMS
+from ..registry import ALGORITHMS, CLUSTERS
 
 __all__ = ["SweepPoint", "SweepSpec"]
 
@@ -58,11 +58,12 @@ class SweepSpec:
     Attributes
     ----------
     clusters:
-        Cluster profile names (keys of ``repro.clusters.CLUSTERS``).
+        Cluster names (entries of :data:`repro.registry.CLUSTERS`;
+        aliases and alternate spellings are canonicalised).
     nprocs / sizes:
         Process counts and message sizes (bytes) to cross.
     algorithms:
-        Algorithm names (keys of ``repro.simmpi.collectives.ALGORITHMS``).
+        Algorithm names (entries of :data:`repro.registry.ALGORITHMS`).
     seeds:
         Base seeds; each seed yields an independent replication of the
         whole grid (per-point streams are further derived by name, see
@@ -79,7 +80,18 @@ class SweepSpec:
     reps: int = 3
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "clusters", tuple(self.clusters))
+        # Cluster/algorithm names resolvable in the registries are
+        # canonicalised (``Fast_Ethernet`` → ``fast-ethernet``) so
+        # aliases share cache keys; unresolvable cluster names pass
+        # through untouched (they may be scenario labels).
+        object.__setattr__(
+            self,
+            "clusters",
+            tuple(
+                CLUSTERS.canonical(c) if c in CLUSTERS else c
+                for c in self.clusters
+            ),
+        )
         object.__setattr__(self, "nprocs", tuple(int(n) for n in self.nprocs))
         object.__setattr__(self, "sizes", tuple(int(m) for m in self.sizes))
         object.__setattr__(self, "algorithms", tuple(self.algorithms))
@@ -93,8 +105,13 @@ class SweepSpec:
             raise ValueError("sizes must be >= 1 byte")
         unknown = [a for a in self.algorithms if a not in ALGORITHMS]
         if unknown:
-            known = ", ".join(sorted(ALGORITHMS))
+            known = ", ".join(ALGORITHMS.names())
             raise ValueError(f"unknown algorithms {unknown}; known: {known}")
+        object.__setattr__(
+            self,
+            "algorithms",
+            tuple(ALGORITHMS.canonical(a) for a in self.algorithms),
+        )
         if self.reps < 1:
             raise ValueError("reps must be >= 1")
 

@@ -1,0 +1,178 @@
+"""Tests for the repro.api facade (Scenario + registry helpers)."""
+
+import pytest
+
+from repro import api
+from repro.exceptions import ScenarioError
+from repro.registry import CLUSTERS, TOPOLOGIES
+from repro.sweeps import ResultCache, SweepRunner
+
+
+def tiny_scenario_dict(**overrides):
+    base = {
+        "name": "tiny-edge",
+        "base": "gigabit-ethernet",
+        "topology": {
+            "factory": "edge-core",
+            "params": {
+                "nic_bandwidth": 117.6e6,
+                "hosts_per_edge": 2,
+                "trunk_bandwidth": 200e6,
+            },
+        },
+        "workload": {
+            "nprocs": [4],
+            "sizes": [1_024, 2_048, 4_096, 8_192],
+            "seeds": [0],
+            "reps": 1,
+        },
+    }
+    base.update(overrides)
+    return base
+
+
+class TestListings:
+    def test_list_helpers_match_registries(self):
+        assert api.list_clusters() == CLUSTERS.names()
+        assert api.list_topologies() == TOPOLOGIES.names()
+        assert "direct" in api.list_algorithms()
+        assert "sim" in api.list_backends()
+
+
+class TestConstructors:
+    def test_from_name_accepts_aliases(self):
+        assert api.Scenario.from_name("Gige").name == "gigabit-ethernet"
+        assert api.Scenario.from_name("fast_ethernet").profile.name == "fast-ethernet"
+
+    def test_from_name_workload_kwargs(self):
+        sc = api.Scenario.from_name("myrinet", nprocs=(8, 16), reps=1)
+        assert sc.spec.workload.nprocs == (8, 16)
+        assert sc.spec.workload.fit_nprocs == 16
+
+    def test_from_file(self, tmp_path):
+        sc = api.Scenario.from_dict(tiny_scenario_dict())
+        path = sc.spec.save(tmp_path / "tiny.toml")
+        loaded = api.Scenario.from_file(path)
+        assert loaded.spec == sc.spec
+
+
+class TestPipeline:
+    def test_measure_defaults_from_workload(self):
+        sc = api.Scenario.from_dict(tiny_scenario_dict())
+        sample = sc.measure()
+        assert sample.n_processes == 4
+        assert sample.msg_size == 1_024
+        assert sample.mean_time > 0
+
+    def test_sweep_points_cover_grid(self):
+        sc = api.Scenario.from_dict(tiny_scenario_dict())
+        points = sc.sweep_points()
+        assert len(points) == 4
+        assert {p.cluster for p in points} == {"tiny-edge"}
+        assert all(p.algorithm == "direct" for p in points)
+
+    def test_sweep_and_cache_hit(self, tmp_path):
+        runner = SweepRunner(workers=1, cache=ResultCache(tmp_path / "cache"))
+        sc = api.Scenario.from_dict(tiny_scenario_dict())
+        first = sc.sweep(runner=runner)
+        assert first.n_simulated == 4 and first.n_cached == 0
+        second = api.Scenario.from_dict(tiny_scenario_dict()).sweep(runner=runner)
+        assert second.n_simulated == 0 and second.n_cached == 4
+        assert [s.mean_time for s in first.samples] == [
+            s.mean_time for s in second.samples
+        ]
+
+    def test_parallel_sweep_matches_serial(self, tmp_path):
+        sc_serial = api.Scenario.from_dict(tiny_scenario_dict())
+        sc_parallel = api.Scenario.from_dict(tiny_scenario_dict())
+        serial = sc_serial.sweep(runner=SweepRunner(workers=1))
+        parallel = sc_parallel.sweep(runner=SweepRunner(workers=2))
+        assert [s.mean_time for s in serial.samples] == [
+            s.mean_time for s in parallel.samples
+        ]
+
+    def test_fit_signature_cached_on_instance(self):
+        sc = api.Scenario.from_dict(tiny_scenario_dict())
+        ch = sc.fit_signature()
+        assert ch is sc.fit_signature()
+        assert ch.signature.gamma > 0
+        assert sc.predict(6, 16_384) > 0
+
+    def test_predict_paper_source(self):
+        sc = api.Scenario.from_name("gigabit-ethernet")
+        assert sc.predict(40, 1_048_576, source="paper") > 0
+        with pytest.raises(ValueError, match="unknown predict source"):
+            sc.predict(4, 1_024, source="oracle")
+
+    def test_paper_signature_rejected_for_custom(self):
+        sc = api.Scenario.from_dict(tiny_scenario_dict())
+        with pytest.raises(ScenarioError, match="no paper-reported signature"):
+            sc.paper_signature()
+
+    def test_backend_binding(self):
+        sc = api.Scenario.from_name("myrinet")
+        assert "myrinet" in sc.backend("sim").name
+
+
+class TestEndToEndExtension:
+    """The acceptance demo: new fabric + scenario, zero core edits."""
+
+    def test_registered_topology_plus_toml_scenario(self, tmp_path):
+        @api.register_topology("test-dumbbell")
+        def dumbbell(n_hosts, *, nic_bandwidth, bottleneck):
+            # Two switch islands joined by one bottleneck trunk.
+            from repro.simnet.topology import Topology
+
+            topo = Topology(name="dumbbell")
+            left = topo.add_switch()
+            right = topo.add_switch()
+            topo.connect_switches(left, right, bandwidth=bottleneck)
+            for h in range(n_hosts):
+                topo.add_host(left if h % 2 == 0 else right,
+                              nic_bandwidth=nic_bandwidth)
+            return topo.finalize()
+
+        try:
+            path = tmp_path / "dumbbell.toml"
+            path.write_text(
+                """
+                [scenario]
+                name = "dumbbell-gige"
+                base = "gigabit-ethernet"
+
+                [scenario.topology]
+                factory = "test-dumbbell"
+                [scenario.topology.params]
+                nic_bandwidth = 117.6e6
+                bottleneck = 60e6
+
+                [scenario.workload]
+                nprocs = [4]
+                sizes = ["1kB", "4kB", "16kB", "64kB"]
+                reps = 1
+                """
+            )
+            sc = api.Scenario.from_file(path)
+            sweep = sc.sweep(runner=SweepRunner(workers=1))
+            assert sweep.n_points == 4
+            ch = sc.fit_signature()
+            assert ch.signature.gamma > 0
+            # The bottleneck fabric really is what was simulated:
+            topo = sc.profile.topology(4)
+            assert len(topo.switches) == 2
+        finally:
+            TOPOLOGIES.unregister("test-dumbbell")
+
+    def test_registered_cluster_visible_everywhere(self):
+        from repro.clusters.profiles import get_cluster
+
+        @api.register_cluster("test-cluster")
+        def factory():
+            return get_cluster("myrinet").with_overrides(name="test-cluster")
+
+        try:
+            assert "test-cluster" in api.list_clusters()
+            assert api.Scenario.from_name("Test_Cluster").profile.name == "test-cluster"
+            assert get_cluster("test-cluster").name == "test-cluster"
+        finally:
+            CLUSTERS.unregister("test-cluster")

@@ -3,17 +3,17 @@
 import pytest
 
 from repro.clusters.profiles import (
-    CLUSTERS,
     fast_ethernet,
     get_cluster,
     gigabit_ethernet,
     myrinet,
 )
+from repro.registry import CLUSTERS
 
 
 class TestRegistry:
     def test_all_profiles_constructible(self):
-        for name in CLUSTERS:
+        for name in CLUSTERS.names():
             profile = get_cluster(name)
             assert profile.name == name
             assert profile.description
@@ -21,6 +21,16 @@ class TestRegistry:
     def test_unknown_name_rejected(self):
         with pytest.raises(KeyError, match="unknown cluster"):
             get_cluster("infiniband")
+
+    def test_near_miss_names_resolve(self):
+        # Satellite bugfix: underscore/case variants must not be rejected.
+        assert get_cluster("fast_ethernet").name == "fast-ethernet"
+        assert get_cluster("Fast-Ethernet").name == "fast-ethernet"
+        assert get_cluster("MYRINET").name == "myrinet"
+
+    def test_aliases_resolve(self):
+        assert get_cluster("fe").name == "fast-ethernet"
+        assert get_cluster("gige").name == "gigabit-ethernet"
 
 
 class TestProfiles:

@@ -2,8 +2,8 @@
 
 import pytest
 
+from repro.registry import ALGORITHMS
 from repro.simmpi.collectives import (
-    ALGORITHMS,
     alltoall_bruck,
     alltoall_direct,
     alltoall_ring,
@@ -30,15 +30,15 @@ def run_algorithm(program, n=4, msg_size=10_000, nic=100e6, trace=None, **tp):
 
 
 class TestCompletion:
-    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("name", ALGORITHMS.names())
     @pytest.mark.parametrize("n", [2, 3, 4, 7, 8])
     def test_all_algorithms_complete(self, name, n):
-        result = run_algorithm(ALGORITHMS[name], n=n, msg_size=5_000)
+        result = run_algorithm(ALGORITHMS.get(name), n=n, msg_size=5_000)
         assert result.duration > 0
 
-    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("name", ALGORITHMS.names())
     def test_single_rank_trivial(self, name):
-        result = run_algorithm(ALGORITHMS[name], n=1)
+        result = run_algorithm(ALGORITHMS.get(name), n=1)
         assert result.duration == 0.0
         assert result.flows_completed == 0
 

@@ -18,7 +18,7 @@ implementations emit.
 
 import pytest
 
-from repro.simmpi.collectives import ALGORITHMS
+from repro.registry import ALGORITHMS
 
 
 class _RecordingContext:
@@ -48,7 +48,7 @@ class _RecordingContext:
 def run_algorithm(name: str, n: int, msg_size: int) -> dict:
     """Exhaust every rank's program; return matched traffic totals."""
     log = {"sends": [], "recvs": [], "local": []}
-    program = ALGORITHMS[name]
+    program = ALGORITHMS.get(name)
     for rank in range(n):
         ctx = _RecordingContext(rank, n, log)
         for _ in program(ctx, msg_size):
@@ -91,7 +91,7 @@ class TestByteConservation:
             )
 
     @pytest.mark.parametrize("n", NS)
-    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS.names()))
     def test_send_receive_symmetry(self, name, n):
         totals = run_algorithm(name, n, 999)
         assert totals["sent"] == totals["received"]
@@ -100,7 +100,7 @@ class TestByteConservation:
     def test_wire_totals_document_the_tradeoffs(self, n):
         m = 512
         per_rank = {
-            name: run_algorithm(name, n, m)["received"][0] for name in ALGORITHMS
+            name: run_algorithm(name, n, m)["received"][0] for name in ALGORITHMS.names()
         }
         assert per_rank["direct"] == (n - 1) * m
         assert per_rank["rounds"] == (n - 1) * m
@@ -113,7 +113,7 @@ class TestByteConservation:
         # Ring: step s forwards (n - s) blocks one hop.
         assert per_rank["ring"] == n * (n - 1) // 2 * m
 
-    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS.names()))
     def test_local_copy_once_per_rank(self, name):
         n, m = 5, 777
         totals = run_algorithm(name, n, m)

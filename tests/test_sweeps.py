@@ -335,3 +335,164 @@ class TestCliSweep:
             main(self.ARGS[:1] + ["--clusters", "nope", "--no-cache"]) == 2
         )
         assert "unknown clusters" in capsys.readouterr().err
+
+
+class TestScenarioCacheKeys:
+    """Satellite regression: scenario definitions feed the cache key."""
+
+    def scenario(self, **overrides):
+        from repro.scenario import ScenarioSpec
+
+        base = {
+            "name": "probe-equal",
+            "base": "gigabit-ethernet",
+            "topology": {
+                "factory": "edge-core",
+                "params": {
+                    "nic_bandwidth": 117.6e6,
+                    "hosts_per_edge": 8,
+                    "trunk_bandwidth": 400e6,
+                },
+            },
+            "workload": {"nprocs": [4], "sizes": [2_048], "reps": 1},
+        }
+        base.update(overrides)
+        return ScenarioSpec.from_dict(base)
+
+    def test_probe_equal_scenarios_get_distinct_keys(self):
+        # Both fabrics build ONE edge switch at n=4 (hosts_per_edge 8 vs
+        # 20 only diverges above 8 hosts), so the profile fingerprint
+        # probed at the point's own n is identical — without the
+        # scenario payload these two definitions would collide.
+        a = self.scenario()
+        b = self.scenario(
+            topology={
+                "factory": "edge-core",
+                "params": {
+                    "nic_bandwidth": 117.6e6,
+                    "hosts_per_edge": 20,
+                    "trunk_bandwidth": 400e6,
+                },
+            }
+        )
+        point = SweepPoint("probe-equal", 4, 2_048, "direct", 0, 1)
+        fp_a = profile_fingerprint(a.build_profile(), probe_sizes=(4,))
+        fp_b = profile_fingerprint(b.build_profile(), probe_sizes=(4,))
+        assert fp_a == fp_b  # the probes really are indistinguishable
+        assert point_key(point, fp_a, a.cache_payload()) != point_key(
+            point, fp_b, b.cache_payload()
+        )
+
+    def test_no_scenario_leaves_keys_unchanged(self):
+        point = SweepPoint("gigabit-ethernet", 4, 2_048, "direct", 0, 1)
+        fp = profile_fingerprint(gigabit_ethernet())
+        assert point_key(point, fp) == point_key(point, fp, None)
+
+    def test_runner_does_not_cross_scenarios(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(workers=1, cache=cache)
+        a = self.scenario()
+        b = self.scenario(
+            topology={
+                "factory": "edge-core",
+                "params": {
+                    "nic_bandwidth": 117.6e6,
+                    "hosts_per_edge": 20,
+                    "trunk_bandwidth": 400e6,
+                },
+            }
+        )
+        points = [SweepPoint("probe-equal", 4, 2_048, "direct", 0, 1)]
+        first = runner.run_points(points, scenario=a)
+        assert first.n_simulated == 1
+        # The second scenario shares the point coordinates and (at n=4)
+        # the topology probe, but must not be served scenario a's entry.
+        second = runner.run_points(points, scenario=b)
+        assert second.n_simulated == 1
+        # Re-running scenario a itself *is* a cache hit.
+        third = runner.run_points(points, scenario=a)
+        assert third.n_cached == 1
+        assert third.samples[0] == first.samples[0]
+
+    def test_scenario_parallel_execution_matches_serial(self):
+        spec = self.scenario(
+            workload={"nprocs": [4, 5], "sizes": [1_024, 4_096], "reps": 1}
+        )
+        points = [
+            SweepPoint("probe-equal", n, m, "direct", 0, 1)
+            for n in (4, 5)
+            for m in (1_024, 4_096)
+        ]
+        serial = SweepRunner(workers=1).run_points(points, scenario=spec)
+        parallel = SweepRunner(workers=2).run_points(points, scenario=spec)
+        assert [s.mean_time for s in serial.samples] == [
+            s.mean_time for s in parallel.samples
+        ]
+
+
+class TestSpawnSafety:
+    """User-registered plugins must not be rebuilt in spawn workers."""
+
+    def _register_user_cluster(self):
+        from repro.registry import CLUSTERS as REGISTRY, register_cluster
+
+        @register_cluster("test-user-cluster")
+        def factory():
+            return gigabit_ethernet().with_overrides(name="test-user-cluster")
+
+        return REGISTRY
+
+    def test_user_cluster_profile_not_parallel_under_spawn(self, monkeypatch):
+        registry = self._register_user_cluster()
+        try:
+            runner = SweepRunner(workers=4)
+            point = SweepPoint("test-user-cluster", 4, 2_048, "direct", 0, 1)
+            profile = registry.get("test-user-cluster")()
+            monkeypatch.setattr(
+                runner_mod.multiprocessing, "get_start_method", lambda: "fork"
+            )
+            assert runner._parallel_safe(profile, [point])
+            assert runner._parallel_safe(None, [point])
+            monkeypatch.setattr(
+                runner_mod.multiprocessing, "get_start_method", lambda: "spawn"
+            )
+            assert not runner._parallel_safe(profile, [point])
+            assert not runner._parallel_safe(None, [point])
+        finally:
+            registry.unregister("test-user-cluster")
+
+    def test_builtin_points_stay_parallel_under_spawn(self, monkeypatch):
+        runner = SweepRunner(workers=4)
+        point = SweepPoint("gigabit-ethernet", 4, 2_048, "direct", 0, 1)
+        monkeypatch.setattr(
+            runner_mod.multiprocessing, "get_start_method", lambda: "spawn"
+        )
+        assert runner._parallel_safe(None, [point])
+        assert runner._parallel_safe(gigabit_ethernet(), [point])
+
+    def test_user_scenario_not_pool_rebuilt_under_spawn(self, monkeypatch):
+        from repro.registry import TOPOLOGIES, register_topology
+        from repro.scenario import ScenarioSpec
+        from repro.simnet.topology import single_switch
+
+        @register_topology("test-user-switch")
+        def user_switch(n_hosts, **params):
+            return single_switch(n_hosts, **params)
+
+        try:
+            spec = ScenarioSpec.from_dict({
+                "name": "user-topo-scenario",
+                "base": "gigabit-ethernet",
+                "topology": {"factory": "test-user-switch",
+                             "params": {"nic_bandwidth": 1e8}},
+            })
+            monkeypatch.setattr(
+                runner_mod.multiprocessing, "get_start_method", lambda: "spawn"
+            )
+            assert not SweepRunner._scenario_parallel_safe(spec)
+            monkeypatch.setattr(
+                runner_mod.multiprocessing, "get_start_method", lambda: "fork"
+            )
+            assert SweepRunner._scenario_parallel_safe(spec)
+        finally:
+            TOPOLOGIES.unregister("test-user-switch")
