@@ -9,6 +9,13 @@ choice (bandwidth-optimal per Proposition 1) and the contention-maker.
 from repro.clusters.profiles import gigabit_ethernet
 from repro.measure.alltoall import measure_alltoall
 from repro.registry import ALGORITHMS
+from repro.simmpi.collectives import MATRIX_ALGORITHMS
+
+#: Scalar algorithms only — the alltoallv-* entries take a byte matrix
+#: (benchmarks/bench_traffic.py covers the irregular pipeline).
+SCALAR_ALGORITHMS = [
+    name for name in ALGORITHMS.names() if name not in MATRIX_ALGORITHMS
+]
 
 
 def test_ablation_algorithms(benchmark):
@@ -20,20 +27,20 @@ def test_ablation_algorithms(benchmark):
             name: measure_alltoall(
                 cluster, n, 524_288, reps=1, seed=41, algorithm=name
             ).mean_time
-            for name in ALGORITHMS.names()
+            for name in SCALAR_ALGORITHMS
         }
         small = {
             name: measure_alltoall(
                 cluster, n, 256, reps=1, seed=42, algorithm=name
             ).mean_time
-            for name in ALGORITHMS.names()
+            for name in SCALAR_ALGORITHMS
         }
         return large, small
 
     large, small = benchmark.pedantic(ablation, rounds=1, iterations=1)
     print(f"\n[ablation] algorithms on gigabit-ethernet, n={n}")
     print(f"  {'algorithm':<10} {'512 KiB':>12} {'256 B':>12}")
-    for name in ALGORITHMS.names():
+    for name in SCALAR_ALGORITHMS:
         print(f"  {name:<10} {large[name]:>10.4f} s {small[name]:>10.6f} s")
     # Bandwidth regime: store-and-forward ring must lose to direct (§4).
     assert large["direct"] < large["ring"]

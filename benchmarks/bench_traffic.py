@@ -1,0 +1,74 @@
+"""Bench: traffic-pattern sweep throughput (points/sec).
+
+Runs a fixed 64-point irregular-pattern grid (4 patterns x 2 process
+counts x 4 sizes x 2 seeds) through the sweep engine with caching
+disabled — the simulation cost itself is the measured workload — and
+writes the throughput entry ``benchmarks/output/BENCH_traffic.json``
+so the perf trajectory tracks the pattern pipeline across PRs.
+
+Runs standalone (``python benchmarks/bench_traffic.py``) or under
+pytest; honours ``REPRO_BENCH_WORKERS``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.sweeps import SweepRunner, SweepSpec
+
+OUTPUT_PATH = Path(__file__).parent / "output" / "BENCH_traffic.json"
+
+SPEC = dict(
+    clusters=("gigabit-ethernet",),
+    nprocs=(4, 6),
+    sizes=(1_024, 2_048, 8_192, 32_768),
+    algorithms=("direct",),
+    patterns=(
+        {"name": "hotspot", "params": {"targets": 2, "factor": 8.0}},
+        {"name": "zipf", "params": {"exponent": 1.2}},
+        {"name": "permutation"},
+        {"name": "random-sparse", "params": {"density": 0.5}},
+    ),
+    seeds=(0, 1),
+    reps=1,
+)
+
+
+def run_traffic_bench(output_path: Path = OUTPUT_PATH) -> dict:
+    """Execute the 64-point pattern sweep; write and return the entry."""
+    spec = SweepSpec(**SPEC)
+    assert spec.n_points == 64, spec.describe()
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    runner = SweepRunner(workers=workers, cache=None)
+    start = time.perf_counter()
+    result = runner.run(spec)
+    elapsed = time.perf_counter() - start
+    entry = {
+        "bench": "traffic_pattern_sweep",
+        "points": result.n_points,
+        "workers": workers,
+        "elapsed_s": round(elapsed, 4),
+        "points_per_sec": round(result.n_points / elapsed, 2),
+        "mean_time_sum_s": round(
+            sum(s.mean_time for s in result.samples), 6
+        ),
+    }
+    output_path.parent.mkdir(parents=True, exist_ok=True)
+    output_path.write_text(json.dumps(entry, indent=2) + "\n")
+    return entry
+
+
+def test_bench_traffic():
+    """Pytest entry: the sweep completes and the JSON entry lands."""
+    entry = run_traffic_bench()
+    assert entry["points"] == 64
+    assert entry["points_per_sec"] > 0
+    assert json.loads(OUTPUT_PATH.read_text()) == entry
+    print(f"\ntraffic bench: {entry['points_per_sec']} points/sec")
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_traffic_bench(), indent=2))

@@ -16,6 +16,9 @@ Public API tour
 * :mod:`repro.experiments` — one driver per paper figure/table.
 * :mod:`repro.sweeps` — declarative measurement grids run on a worker
   pool with on-disk result caching (the ``sweep`` CLI subcommand).
+* :mod:`repro.traffic` — traffic patterns: irregular (alltoallv-style)
+  exchanges as registered (n, n) byte-matrix generators, usable across
+  measurements, sweeps, scenarios and the CLI.
 * :mod:`repro.api` — the facade: declarative :class:`~repro.api.Scenario`
   objects (TOML/JSON/dict), plugin registries and ``register_*``
   decorators for user-defined clusters, topologies, algorithms and
@@ -32,11 +35,12 @@ Quickstart
 True
 """
 
-from . import clusters, core, measure, registry, simmpi, simnet, sweeps
+from . import clusters, core, measure, registry, simmpi, simnet, sweeps, traffic
 from . import api, scenario
 from ._version import __version__
 from .api import Scenario
 from .scenario import ScenarioSpec, WorkloadSpec
+from .traffic import PatternSpec
 from .core import (
     MED,
     AlltoallPredictor,
@@ -59,10 +63,12 @@ __all__ = [
     "simmpi",
     "simnet",
     "sweeps",
+    "traffic",
     "__version__",
     "Scenario",
     "ScenarioSpec",
     "WorkloadSpec",
+    "PatternSpec",
     "AlltoallPredictor",
     "AlltoallSample",
     "ContentionSignature",

@@ -34,19 +34,25 @@ from .registry import (
     ALGORITHMS,
     BACKENDS,
     CLUSTERS,
+    PATTERNS,
     TOPOLOGIES,
     register_algorithm,
     register_backend,
     register_cluster,
+    register_pattern,
     register_topology,
 )
 from .scenario import ScenarioSpec, TopologySpec, WorkloadSpec, load_scenario
+from .simmpi.collectives import ALLTOALLV_VARIANTS
+from .traffic import PatternSpec, as_pattern
 
 __all__ = [
     "Scenario",
     "ScenarioSpec",
     "TopologySpec",
     "WorkloadSpec",
+    "PatternSpec",
+    "as_pattern",
     "load_scenario",
     "get_cluster",
     "get_backend",
@@ -54,14 +60,17 @@ __all__ = [
     "list_topologies",
     "list_algorithms",
     "list_backends",
+    "list_patterns",
     "register_topology",
     "register_cluster",
     "register_algorithm",
     "register_backend",
+    "register_pattern",
     "TOPOLOGIES",
     "CLUSTERS",
     "ALGORITHMS",
     "BACKENDS",
+    "PATTERNS",
 ]
 
 
@@ -83,6 +92,11 @@ def list_algorithms() -> list[str]:
 def list_backends() -> list[str]:
     """Canonical names of all registered measurement backends."""
     return BACKENDS.names()
+
+
+def list_patterns() -> list[str]:
+    """Canonical names of all registered traffic patterns."""
+    return PATTERNS.names()
 
 
 class Scenario:
@@ -153,6 +167,7 @@ class Scenario:
         reps: int | None = None,
         seed: int | None = None,
         algorithm: str | None = None,
+        pattern=None,
     ) -> AlltoallSample:
         """Measure one All-to-All point (defaults from the workload)."""
         workload = self.spec.workload
@@ -163,6 +178,7 @@ class Scenario:
             reps=reps if reps is not None else workload.reps,
             seed=seed if seed is not None else workload.seeds[0],
             algorithm=algorithm if algorithm is not None else self.spec.algorithm,
+            pattern=pattern if pattern is not None else workload.pattern,
         )
 
     def sweep_points(self):
@@ -178,6 +194,7 @@ class Scenario:
                 algorithm=self.spec.algorithm,
                 seed=seed,
                 reps=workload.reps,
+                pattern=workload.pattern,
             )
             for n in workload.nprocs
             for m in workload.sizes
@@ -205,21 +222,28 @@ class Scenario:
         """Run the §8 characterisation on this scenario (cached).
 
         Fits at n′ = ``workload.fit_nprocs`` over ``workload.sizes``
-        (>= 4 sizes required by the paper's regression).  Extra keyword
-        arguments pass through to
+        (>= 4 sizes required by the paper's regression).  The signature
+        is a property of the *network*, so the fit always measures the
+        regular All-to-All — a matrix algorithm is lowered to its
+        scalar counterpart and any workload pattern is ignored here.
+        Extra keyword arguments pass through to
         :func:`~repro.measure.pipeline.characterize_cluster`.
         """
         if self._characterization is not None and not force and not kwargs:
             return self._characterization
         workload = self.spec.workload
         custom = bool(kwargs)
+        scalar_of = {v: k for k, v in ALLTOALLV_VARIANTS.items()}
         ch = characterize_cluster(
             self.profile,
             sample_nprocs=kwargs.pop("sample_nprocs", workload.fit_nprocs),
             sample_sizes=kwargs.pop("sample_sizes", workload.sizes),
             reps=kwargs.pop("reps", workload.reps),
             seed=kwargs.pop("seed", workload.seeds[0]),
-            algorithm=kwargs.pop("algorithm", self.spec.algorithm),
+            algorithm=kwargs.pop(
+                "algorithm",
+                scalar_of.get(self.spec.algorithm, self.spec.algorithm),
+            ),
             runner=runner,
             scenario=self.spec,
             **kwargs,
@@ -288,8 +312,14 @@ class Scenario:
         """One-line summary for logs and the CLI."""
         workload = self.spec.workload
         origin = self.spec.base or f"topology:{self.spec.topology.factory}"
+        pattern = (
+            f", pattern={workload.pattern.key()}"
+            if workload.pattern is not None
+            else ""
+        )
         return (
-            f"{self.name} (from {origin}, algorithm={self.spec.algorithm}, "
+            f"{self.name} (from {origin}, algorithm={self.spec.algorithm}"
+            f"{pattern}, "
             f"{len(workload.nprocs)} nprocs x {len(workload.sizes)} sizes x "
             f"{len(workload.seeds)} seeds, reps={workload.reps})"
         )

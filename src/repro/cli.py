@@ -72,8 +72,44 @@ _LIST_SECTIONS = {
         (name, _doc_summary(api.ALGORITHMS.get(name)))
         for name in api.list_algorithms()
     ],
+    "patterns": lambda: [
+        (name, _doc_summary(api.PATTERNS.get(name)))
+        for name in api.list_patterns()
+    ],
     "backends": lambda: [(name, "") for name in api.list_backends()],
 }
+
+
+def _parse_pattern_arg(text: str):
+    """``name`` or ``name:k=v,k2=v2`` → a pattern dict for SweepSpec.
+
+    Values parse as int, then float, then the booleans, else string —
+    ``hotspot:targets=2,factor=8`` or ``zipf:exponent=1.5``.
+    """
+    name, _, param_part = text.partition(":")
+    params = {}
+    for item in param_part.split(","):
+        if not item.strip():
+            continue
+        key, sep, raw = item.partition("=")
+        if not sep or not key.strip():
+            raise ValueError(
+                f"bad pattern parameter {item!r} (expected key=value)"
+            )
+        raw = raw.strip()
+        value: object
+        if raw.lower() in ("true", "false"):
+            value = raw.lower() == "true"
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw
+        params[key.strip()] = value
+    return {"name": name.strip(), "params": params}
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -152,7 +188,11 @@ def _run_scenario(args: argparse.Namespace) -> int:
     if scenario is None:
         return 2
     print(f"scenario  : {scenario.describe()}")
-    result = scenario.sweep()
+    try:
+        result = scenario.sweep()
+    except (MeasurementError, ScenarioError) as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
     print(f"points    : {result.n_points}")
     _print_sweep_summary(result, csv=args.csv)
     try:
@@ -240,7 +280,10 @@ def _csv_list(text: str) -> list[str]:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .sweeps import ResultCache, SweepRunner, SweepSpec, default_cache_dir
 
-    axis_flags = ("clusters", "nprocs", "sizes", "algorithms", "seeds", "reps")
+    axis_flags = (
+        "clusters", "nprocs", "sizes", "algorithms", "pattern",
+        "seeds", "reps",
+    )
     if args.scenario:
         given = [f"--{f}" for f in axis_flags if getattr(args, f) is not None]
         if given:
@@ -260,7 +303,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"invalid sweep options: {exc}", file=sys.stderr)
             return 2
-        result = scenario.sweep(runner=runner)
+        try:
+            result = scenario.sweep(runner=runner)
+        except (MeasurementError, ScenarioError) as exc:
+            print(f"sweep failed: {exc}", file=sys.stderr)
+            return 1
         print(f"sweep     : {scenario.describe()}")
         print(f"workers   : {runner.workers}")
         print(f"cache     : {cache.root if cache is not None else 'disabled'}")
@@ -275,6 +322,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 parse_size(s) for s in _csv_list(args.sizes or "2kB,32kB,256kB")
             ),
             algorithms=tuple(_csv_list(args.algorithms or "direct")),
+            patterns=(
+                tuple(_parse_pattern_arg(p) for p in args.pattern)
+                if args.pattern
+                else (None,)
+            ),
             seeds=tuple(int(s) for s in _csv_list(args.seeds or "0")),
             reps=args.reps if args.reps is not None else 1,
         )
@@ -295,6 +347,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
         return 2
+    except (MeasurementError, ScenarioError) as exc:
+        # e.g. a pattern whose matrix degenerates at some grid point
+        # (shift:offset=n) — report cleanly, not as a traceback.
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
 
     print(f"sweep     : {spec.describe()}")
     print(f"workers   : {runner.workers}")
@@ -397,6 +454,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithms", default=None,
         help="comma-separated algorithm names (default: direct; see "
              "`list algorithms`)",
+    )
+    p_sweep.add_argument(
+        "--pattern", action="append", default=None, metavar="NAME[:K=V,...]",
+        help="traffic pattern axis entry, e.g. hotspot:targets=2,factor=8 "
+             "(repeatable; default: the uniform regular All-to-All; see "
+             "`list patterns`)",
     )
     p_sweep.add_argument(
         "--seeds", default=None, help="comma-separated base seeds (default: 0)"

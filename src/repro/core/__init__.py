@@ -4,6 +4,7 @@ from .bounds import (
     alltoall_lower_bound,
     bandwidth_lower_bound,
     combined_lower_bound,
+    delta_eligible_rounds,
     min_startups,
     naive_model,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "alltoall_lower_bound",
     "bandwidth_lower_bound",
     "combined_lower_bound",
+    "delta_eligible_rounds",
     "min_startups",
     "naive_model",
     "mae",

@@ -23,6 +23,7 @@ __all__ = [
     "bandwidth_lower_bound",
     "combined_lower_bound",
     "alltoall_lower_bound",
+    "delta_eligible_rounds",
     "naive_model",
 ]
 
@@ -42,6 +43,31 @@ def bandwidth_lower_bound(med: MED, params: HockneyParams) -> float:
 def combined_lower_bound(med: MED, params: HockneyParams) -> float:
     """Claim 3: start-up and bandwidth bounds combined."""
     return min_startups(med) * params.alpha + bandwidth_lower_bound(med, params)
+
+
+def delta_eligible_rounds(med: MED, threshold: int) -> int:
+    """Per-node maximum count of arcs carrying at least *threshold* bytes.
+
+    The MED generalisation of the ``(n-1)`` factor multiplying δ in the
+    per-round signature model: δ charges the serialized receiver
+    demultiplexing once per large message on the bottleneck node, so
+    the count is ``max_p max(|out arcs ≥ M|, |in arcs ≥ M|)``.  On the
+    regular All-to-All this is ``n-1`` when ``m ≥ M`` and 0 otherwise,
+    recovering the paper's formula exactly.
+    """
+    graph = med.graph
+    best = 0
+    for node in graph.nodes:
+        out_count = sum(
+            1 for _, _, data in graph.out_edges(node, data=True)
+            if data["weight"] >= threshold
+        )
+        in_count = sum(
+            1 for _, _, data in graph.in_edges(node, data=True)
+            if data["weight"] >= threshold
+        )
+        best = max(best, out_count, in_count)
+    return best
 
 
 def alltoall_lower_bound(n_processes, msg_size, params: HockneyParams):

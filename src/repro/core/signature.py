@@ -28,8 +28,13 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from ..exceptions import FittingError
-from .bounds import alltoall_lower_bound
+from .bounds import (
+    alltoall_lower_bound,
+    combined_lower_bound,
+    delta_eligible_rounds,
+)
 from .hockney import HockneyParams
+from .med import MED
 from .regression import LinearFit, fit_linear
 
 __all__ = ["AlltoallSample", "ContentionSignature", "SignatureFit", "fit_signature"]
@@ -99,6 +104,30 @@ class ContentionSignature:
     def lower_bound(self, n_processes, msg_size):
         """The contention-free Proposition-1 bound (γ = 1, δ = 0)."""
         return alltoall_lower_bound(n_processes, msg_size, self.hockney)
+
+    def predict_med(self, med: MED) -> float:
+        """Predicted completion time for an arbitrary exchange digraph.
+
+        Generalises :meth:`predict` from the regular All-to-All to any
+        personalised exchange: γ multiplies the §5 combined lower bound
+        (Claim 3: start-ups from the MED degrees, bandwidth from the
+        per-node max in/out bytes), and δ is charged per
+        threshold-crossing message on the bottleneck node
+        (:func:`~repro.core.bounds.delta_eligible_rounds`).  On a
+        uniform MED this reduces exactly to ``predict(n, m)``.
+        """
+        base = combined_lower_bound(med, self.hockney) * self.gamma
+        if self.delta > 0:
+            rounds = delta_eligible_rounds(med, self.threshold)
+            if self.delta_mode == "per_round":
+                base += self.delta * rounds
+            else:
+                base += self.delta * (1.0 if rounds else 0.0)
+        return float(base)
+
+    def lower_bound_med(self, med: MED) -> float:
+        """The §5 combined (Claim 3) bound for an arbitrary exchange."""
+        return combined_lower_bound(med, self.hockney)
 
     def __str__(self) -> str:
         delta_ms = self.delta * 1e3

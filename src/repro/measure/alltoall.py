@@ -4,6 +4,13 @@ Each sample is the mean of *reps* independent runs (the paper averages
 100 measures per (message size, process count) point; the default here
 is smaller because every run is a full simulation — pass ``reps=100`` to
 match the paper's averaging exactly).
+
+Irregular exchanges: pass ``pattern=`` (a
+:class:`~repro.traffic.PatternSpec`, a registered pattern name, or a
+``{"name": ..., "params": ...}`` dict) and the point is simulated with
+the matrix-driven alltoallv rank programs over the pattern's (n, n)
+byte matrix, ``msg_size`` acting as the pattern's scale.  The uniform
+pattern collapses to the legacy scalar path bit-for-bit.
 """
 
 from __future__ import annotations
@@ -12,11 +19,31 @@ import numpy as np
 
 from ..clusters.profiles import ClusterProfile
 from ..core.signature import AlltoallSample
-from ..exceptions import MeasurementError, UnknownNameError
+from ..exceptions import MeasurementError, ScenarioError, UnknownNameError
 from ..registry import ALGORITHMS
+from ..simmpi.collectives import variant_for
 from ..simnet.rng import RngFactory
+from ..traffic import PatternSpec, as_pattern
 
 __all__ = ["measure_alltoall", "sweep_sizes", "sweep_grid"]
+
+
+def _resolve_program(algorithm: str, pattern: "PatternSpec | None"):
+    """Map (algorithm, pattern) to the rank program actually simulated.
+
+    Returns ``(program, stream_tag)`` where *stream_tag* is the
+    algorithm name used in RNG stream derivation — the alltoallv
+    variant's canonical name for irregular points, the scalar name
+    (historical stream naming, cache-compatible) otherwise.
+    """
+    try:
+        canonical = ALGORITHMS.canonical(algorithm)
+        resolved = variant_for(canonical, irregular=pattern is not None)
+    except UnknownNameError as exc:
+        raise MeasurementError(exc.args[0]) from None
+    except ValueError as exc:
+        raise MeasurementError(str(exc)) from None
+    return ALGORITHMS.get(resolved), resolved
 
 
 def measure_alltoall(
@@ -27,8 +54,15 @@ def measure_alltoall(
     reps: int = 3,
     seed: int = 0,
     algorithm: str = "direct",
+    pattern=None,
 ) -> AlltoallSample:
-    """Measure one (n, m) All-to-All point; returns the averaged sample."""
+    """Measure one (n, m) All-to-All point; returns the averaged sample.
+
+    With *pattern* set (and not trivially uniform), the point runs the
+    pattern's byte matrix through the matching alltoallv program; the
+    matrix itself is derived deterministically from
+    ``(pattern, n, msg_size, seed)`` and is identical across reps.
+    """
     if n_processes < 2:
         raise MeasurementError("All-to-All needs at least two processes")
     if msg_size < 1:
@@ -36,18 +70,39 @@ def measure_alltoall(
     if reps < 1:
         raise MeasurementError("reps must be >= 1")
     try:
-        program = ALGORITHMS.get(algorithm)
-        algorithm = ALGORITHMS.canonical(algorithm)
-    except UnknownNameError as exc:
+        pattern = as_pattern(pattern)
+    except ScenarioError as exc:
         raise MeasurementError(exc.args[0]) from None
+    program, stream_tag = _resolve_program(algorithm, pattern)
+    if pattern is None:
+        run_arg: object = int(msg_size)
+        stream_prefix = f"alltoall/{stream_tag}/{n_processes}/{msg_size}"
+    else:
+        try:
+            matrix = pattern.matrix(n_processes, msg_size, seed=seed)
+        except ValueError as exc:
+            # Generator-level parameter failures (e.g. hotspot targets
+            # exceeding n) surface as measurement errors, not tracebacks.
+            raise MeasurementError(
+                f"pattern {pattern.key()} cannot build a matrix at "
+                f"(n={n_processes}, m={msg_size}): {exc}"
+            ) from None
+        if not np.any(matrix - np.diag(np.diag(matrix))):
+            raise MeasurementError(
+                f"pattern {pattern.key()} yields no network traffic at "
+                f"(n={n_processes}, m={msg_size}, seed={seed}); nothing "
+                "to measure"
+            )
+        run_arg = matrix
+        stream_prefix = (
+            f"alltoallv/{stream_tag}/{pattern.key()}/{n_processes}/{msg_size}"
+        )
     factory = RngFactory(seed)
     times = np.empty(reps)
     for rep in range(reps):
-        rep_seed = factory.child(
-            f"alltoall/{algorithm}/{n_processes}/{msg_size}/{rep}"
-        ).seed
+        rep_seed = factory.child(f"{stream_prefix}/{rep}").seed
         runtime = cluster.runtime(n_processes, seed=rep_seed)
-        result = runtime.run(program, int(msg_size))
+        result = runtime.run(program, run_arg)
         times[rep] = result.duration
     return AlltoallSample(
         n_processes=n_processes,
@@ -81,6 +136,7 @@ def sweep_sizes(
     reps: int = 3,
     seed: int = 0,
     algorithm: str = "direct",
+    pattern=None,
     runner=None,
     scenario=None,
 ) -> list[AlltoallSample]:
@@ -101,6 +157,7 @@ def sweep_sizes(
                 algorithm=algorithm,
                 seed=seed,
                 reps=reps,
+                pattern=pattern,
             )
             for size in sizes
         ]
@@ -118,6 +175,7 @@ def sweep_grid(
     reps: int = 3,
     seed: int = 0,
     algorithm: str = "direct",
+    pattern=None,
     runner=None,
     scenario=None,
 ) -> list[AlltoallSample]:
@@ -137,6 +195,7 @@ def sweep_grid(
                 algorithm=algorithm,
                 seed=seed,
                 reps=reps,
+                pattern=pattern,
             )
             for n in n_values
             for size in sizes

@@ -18,8 +18,9 @@ Lookups are *normalised*: case is folded and ``_``/space collapse to
 ``fast-ethernet`` entry.  Explicit aliases resolve too, but enumeration
 (:meth:`Registry.names`) lists canonical names only.
 
-The four process-wide registries live here (:data:`TOPOLOGIES`,
-:data:`CLUSTERS`, :data:`ALGORITHMS`, :data:`BACKENDS`); the legacy
+The five process-wide registries live here (:data:`TOPOLOGIES`,
+:data:`CLUSTERS`, :data:`ALGORITHMS`, :data:`BACKENDS`,
+:data:`PATTERNS`); the legacy
 module-level dicts (``repro.clusters.profiles.CLUSTERS``,
 ``repro.simmpi.collectives.ALGORITHMS``) remain importable as
 :class:`DeprecatedMapping` views that warn on access.
@@ -41,10 +42,12 @@ __all__ = [
     "CLUSTERS",
     "ALGORITHMS",
     "BACKENDS",
+    "PATTERNS",
     "register_topology",
     "register_cluster",
     "register_algorithm",
     "register_backend",
+    "register_pattern",
 ]
 
 T = TypeVar("T")
@@ -215,6 +218,10 @@ ALGORITHMS: Registry[Callable] = Registry("algorithm")
 #: ``f(cluster=None) -> backend`` measurement-backend factories.
 BACKENDS: Registry[Callable] = Registry("backend")
 
+#: ``f(n_processes, msg_size, *, rng, **params) -> (n, n) byte matrix``
+#: traffic-pattern generators (see :mod:`repro.traffic`).
+PATTERNS: Registry[Callable] = Registry("pattern")
+
 
 def register_topology(name: str, *, aliases: tuple[str, ...] = (), replace: bool = False):
     """Decorator: register a topology factory ``f(n_hosts, **params)``."""
@@ -234,3 +241,9 @@ def register_algorithm(name: str, *, aliases: tuple[str, ...] = (), replace: boo
 def register_backend(name: str, *, aliases: tuple[str, ...] = (), replace: bool = False):
     """Decorator: register a measurement-backend factory."""
     return BACKENDS.register(name, aliases=aliases, replace=replace)
+
+
+def register_pattern(name: str, *, aliases: tuple[str, ...] = (), replace: bool = False):
+    """Decorator: register a traffic-pattern generator
+    ``f(n_processes, msg_size, *, rng, **params) -> matrix``."""
+    return PATTERNS.register(name, aliases=aliases, replace=replace)

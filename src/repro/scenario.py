@@ -37,11 +37,18 @@ from pathlib import Path
 
 from .clusters.profiles import ClusterProfile, get_cluster
 from .exceptions import ScenarioError, UnknownNameError
-from .registry import ALGORITHMS, TOPOLOGIES, CLUSTERS as _CLUSTER_REGISTRY
+from .registry import (
+    ALGORITHMS,
+    PATTERNS,
+    TOPOLOGIES,
+    CLUSTERS as _CLUSTER_REGISTRY,
+)
 from .simnet.entities import LinkKind
 from .simnet.loss import LossParams
 from .simnet.penalty import HolPenalty
+from .simmpi.collectives import variant_for
 from .simmpi.transport import TransportParams
+from .traffic import PatternSpec, as_pattern
 from .units import parse_size
 
 __all__ = ["TopologySpec", "WorkloadSpec", "ScenarioSpec", "load_scenario"]
@@ -106,7 +113,13 @@ class WorkloadSpec:
     """The measurement grid a scenario sweeps.
 
     ``sample_nprocs`` is the paper's n′ — the process count the
-    signature fit samples at; it defaults to the largest ``nprocs``.
+    signature fit samples at; it defaults to the largest ``nprocs``
+    and must be one of them (the fit samples a grid column).
+
+    ``pattern`` is the traffic pattern the grid simulates (a
+    :class:`~repro.traffic.PatternSpec`, a registered name, or a
+    ``{"name", "params"}`` table); unset — or trivially ``uniform`` —
+    means the legacy regular All-to-All.
     """
 
     nprocs: tuple[int, ...] = (4, 8)
@@ -114,6 +127,7 @@ class WorkloadSpec:
     seeds: tuple[int, ...] = (0,)
     reps: int = 2
     sample_nprocs: int | None = None
+    pattern: PatternSpec | None = None
 
     def __post_init__(self) -> None:
         try:
@@ -137,6 +151,13 @@ class WorkloadSpec:
             raise ScenarioError("workload reps must be >= 1")
         if self.sample_nprocs is not None and self.sample_nprocs < 2:
             raise ScenarioError("workload sample_nprocs must be >= 2")
+        if self.sample_nprocs is not None and self.sample_nprocs not in self.nprocs:
+            raise ScenarioError(
+                f"workload sample_nprocs {self.sample_nprocs} is not one of "
+                f"the swept nprocs {list(self.nprocs)}; the signature fit "
+                "samples a grid column"
+            )
+        object.__setattr__(self, "pattern", as_pattern(self.pattern))
 
     @property
     def fit_nprocs(self) -> int:
@@ -152,6 +173,8 @@ class WorkloadSpec:
         }
         if self.sample_nprocs is not None:
             out["sample_nprocs"] = self.sample_nprocs
+        if self.pattern is not None:
+            out["pattern"] = self.pattern.to_dict()
         return out
 
     @classmethod
@@ -237,6 +260,12 @@ class ScenarioSpec:
         object.__setattr__(
             self, "algorithm", ALGORITHMS.canonical(self.algorithm)
         )
+        try:
+            variant_for(
+                self.algorithm, irregular=self.workload.pattern is not None
+            )
+        except ValueError as exc:
+            raise ScenarioError(str(exc)) from None
         _check_fields("transport", self.transport, TransportParams)
         if self.loss is not None:
             _check_fields(
@@ -401,34 +430,17 @@ class ScenarioSpec:
         :meth:`from_toml`)."""
         lines: list[str] = ["[scenario]"]
         head = self.to_dict()
-        topology = head.pop("topology", None)
         tables = {
             key: head.pop(key, None)
-            for key in ("transport", "loss", "hol", "workload")
+            for key in ("topology", "transport", "loss", "hol", "workload")
         }
         for key, value in head.items():
             lines.append(f"{key} = {_toml_value(value)}")
-        if topology is not None:
-            lines += ["", "[scenario.topology]",
-                      f"factory = {_toml_value(topology['factory'])}"]
-            if topology["params"]:
-                lines.append("[scenario.topology.params]")
-                lines += [
-                    f"{k} = {_toml_value(v)}"
-                    for k, v in topology["params"].items()
-                ]
         for key, table in tables.items():
             if table is None:
                 continue
-            nested = {k: v for k, v in table.items() if isinstance(v, dict)}
-            flat = {k: v for k, v in table.items() if not isinstance(v, dict)}
-            lines += ["", f"[scenario.{key}]"]
-            lines += [f"{k} = {_toml_value(v)}" for k, v in flat.items()]
-            for sub, mapping in nested.items():
-                lines.append(f"[scenario.{key}.{sub}]")
-                lines += [
-                    f"{k} = {_toml_value(v)}" for k, v in mapping.items()
-                ]
+            lines.append("")
+            _emit_toml_table(lines, f"scenario.{key}", table)
         return "\n".join(lines) + "\n"
 
     def save(self, path: str | Path) -> Path:
@@ -459,6 +471,8 @@ class ScenarioSpec:
             objects.append(TOPOLOGIES.get(self.topology.factory))
         if self.base is not None:
             objects.append(_CLUSTER_REGISTRY.get(self.base))
+        if self.workload.pattern is not None:
+            objects.append(PATTERNS.get(self.workload.pattern.name))
         return all(
             (getattr(obj, "__module__", "") or "").split(".")[0] == "repro"
             for obj in objects
@@ -493,6 +507,20 @@ def _cluster_canonical(name: str) -> str:
         return _CLUSTER_REGISTRY.canonical(name)
     except UnknownNameError as exc:
         raise ScenarioError(exc.args[0]) from None
+
+
+def _emit_toml_table(lines: list[str], path: str, table: dict) -> None:
+    """Append ``[path]`` plus entries; sub-dicts recurse as sub-tables."""
+    lines.append(f"[{path}]")
+    nested = []
+    for key, value in table.items():
+        if isinstance(value, dict):
+            if value:  # empty sub-tables carry no information
+                nested.append((key, value))
+        else:
+            lines.append(f"{key} = {_toml_value(value)}")
+    for key, value in nested:
+        _emit_toml_table(lines, f"{path}.{key}", value)
 
 
 def _toml_value(value) -> str:

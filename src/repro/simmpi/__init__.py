@@ -5,10 +5,14 @@ Replaces LAM-MPI/MPICH on the paper's clusters; see DESIGN.md §2.
 
 from .collectives import (
     ALGORITHMS,
+    ALLTOALLV_VARIANTS,
+    MATRIX_ALGORITHMS,
     alltoall_bruck,
     alltoall_direct,
     alltoall_ring,
     alltoall_rounds,
+    alltoallv_direct,
+    alltoallv_rounds,
 )
 from .request import ANY_SOURCE, ANY_TAG, RecvRequest, Request, SendRequest
 from .runtime import RankContext, RankProgram, RunResult, Runtime
@@ -16,10 +20,14 @@ from .transport import TransportParams
 
 __all__ = [
     "ALGORITHMS",
+    "ALLTOALLV_VARIANTS",
+    "MATRIX_ALGORITHMS",
     "alltoall_bruck",
     "alltoall_direct",
     "alltoall_ring",
     "alltoall_rounds",
+    "alltoallv_direct",
+    "alltoallv_rounds",
     "ANY_SOURCE",
     "ANY_TAG",
     "RecvRequest",

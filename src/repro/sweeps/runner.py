@@ -54,6 +54,7 @@ def _execute_point(point: SweepPoint) -> AlltoallSample:
         reps=point.reps,
         seed=point.seed,
         algorithm=point.algorithm,
+        pattern=point.pattern,
     )
 
 
@@ -72,6 +73,7 @@ def _execute_scenario_point(spec_dict: dict, point: SweepPoint) -> AlltoallSampl
         reps=point.reps,
         seed=point.seed,
         algorithm=point.algorithm,
+        pattern=point.pattern,
     )
 
 
@@ -115,8 +117,8 @@ class SweepResult:
     def to_rows(self) -> tuple[list[str], list[dict[str, object]]]:
         """Flat tabular view (CSV/JSONL-ready)."""
         fieldnames = [
-            "cluster", "algorithm", "n_processes", "msg_size", "seed",
-            "reps", "mean_time", "std_time", "cached",
+            "cluster", "algorithm", "pattern", "n_processes", "msg_size",
+            "seed", "reps", "mean_time", "std_time", "cached",
         ]
         rows: list[dict[str, object]] = []
         for r in self.results:
@@ -124,6 +126,10 @@ class SweepResult:
                 {
                     "cluster": r.point.cluster,
                     "algorithm": r.point.algorithm,
+                    "pattern": (
+                        "uniform" if r.point.pattern is None
+                        else r.point.pattern.key()
+                    ),
                     "n_processes": r.point.n_processes,
                     "msg_size": r.point.msg_size,
                     "seed": r.point.seed,
@@ -266,10 +272,15 @@ class SweepRunner:
         """
         if multiprocessing.get_start_method() == "fork":
             return True
-        from ..registry import ALGORITHMS
+        from ..registry import ALGORITHMS, PATTERNS
 
         objects = [CLUSTERS.get(n) for n in cluster_names]
         objects += [ALGORITHMS.get(p.algorithm) for p in points]
+        objects += [
+            PATTERNS.get(p.pattern.name)
+            for p in points
+            if p.pattern is not None
+        ]
         return all(
             (getattr(obj, "__module__", "") or "").split(".")[0] == "repro"
             for obj in objects
@@ -361,6 +372,7 @@ class SweepRunner:
                     reps=point.reps,
                     seed=point.seed,
                     algorithm=point.algorithm,
+                    pattern=point.pattern,
                 )
             else:
                 sample = _execute_point(point)

@@ -2,12 +2,19 @@
 
 A :class:`SweepSpec` is the cartesian product
 
-    clusters x nprocs x msg sizes x algorithms x seeds
+    clusters x nprocs x msg sizes x algorithms x patterns x seeds
 
 with a shared repetition count.  :meth:`SweepSpec.points` expands it into
 :class:`SweepPoint` instances in a deterministic order (clusters outer,
 seeds inner), so two expansions of the same spec always enumerate the
 same points in the same positions.
+
+The ``patterns`` axis holds traffic patterns
+(:class:`~repro.traffic.PatternSpec`, names, or dicts); ``None`` — and
+the trivial ``uniform`` spec, which canonicalises to ``None`` — is the
+legacy regular All-to-All, whose points carry no pattern in their cache
+keys (so pre-pattern cache entries stay valid and uniform sweeps hit
+them bit-for-bit).
 """
 
 from __future__ import annotations
@@ -16,13 +23,15 @@ import itertools
 from dataclasses import dataclass
 
 from ..registry import ALGORITHMS, CLUSTERS
+from ..simmpi.collectives import variant_for
+from ..traffic import PatternSpec, as_pattern
 
 __all__ = ["SweepPoint", "SweepSpec"]
 
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One (cluster, n, m, algorithm, seed) simulation coordinate."""
+    """One (cluster, n, m, algorithm, pattern, seed) simulation coordinate."""
 
     cluster: str
     n_processes: int
@@ -30,6 +39,7 @@ class SweepPoint:
     algorithm: str
     seed: int
     reps: int
+    pattern: PatternSpec | None = None
 
     def __post_init__(self) -> None:
         if self.n_processes < 2:
@@ -38,10 +48,16 @@ class SweepPoint:
             raise ValueError("msg_size must be >= 1 byte")
         if self.reps < 1:
             raise ValueError("reps must be >= 1")
+        # Uniform canonicalises to None: one identity, one cache key.
+        object.__setattr__(self, "pattern", as_pattern(self.pattern))
 
     def key_payload(self) -> dict[str, object]:
-        """The point's contribution to its cache key (stable field order)."""
-        return {
+        """The point's contribution to its cache key (stable field order).
+
+        Pattern-less points keep the historical payload exactly, so
+        adding the pattern axis never invalidated existing caches.
+        """
+        payload: dict[str, object] = {
             "cluster": self.cluster,
             "n_processes": self.n_processes,
             "msg_size": self.msg_size,
@@ -49,6 +65,9 @@ class SweepPoint:
             "seed": self.seed,
             "reps": self.reps,
         }
+        if self.pattern is not None:
+            payload["pattern"] = self.pattern.cache_payload()
+        return payload
 
 
 @dataclass(frozen=True)
@@ -64,6 +83,10 @@ class SweepSpec:
         Process counts and message sizes (bytes) to cross.
     algorithms:
         Algorithm names (entries of :data:`repro.registry.ALGORITHMS`).
+    patterns:
+        Traffic patterns (``None``/names/dicts/specs; entries of
+        :data:`repro.registry.PATTERNS`).  Defaults to the single
+        legacy uniform exchange.
     seeds:
         Base seeds; each seed yields an independent replication of the
         whole grid (per-point streams are further derived by name, see
@@ -76,6 +99,7 @@ class SweepSpec:
     nprocs: tuple[int, ...]
     sizes: tuple[int, ...]
     algorithms: tuple[str, ...] = ("direct",)
+    patterns: tuple = (None,)
     seeds: tuple[int, ...] = (0,)
     reps: int = 3
 
@@ -112,6 +136,17 @@ class SweepSpec:
             "algorithms",
             tuple(ALGORITHMS.canonical(a) for a in self.algorithms),
         )
+        if not isinstance(self.patterns, (tuple, list)):
+            raise ValueError("patterns must be a tuple of pattern specs/names")
+        object.__setattr__(
+            self, "patterns", tuple(as_pattern(p) for p in self.patterns)
+        )
+        if not self.patterns:
+            raise ValueError("every sweep axis needs at least one value")
+        for algorithm in self.algorithms:
+            for pattern in self.patterns:
+                # Reject (algorithm, pattern) combos with no rank program.
+                variant_for(algorithm, irregular=pattern is not None)
         if self.reps < 1:
             raise ValueError("reps must be >= 1")
 
@@ -120,7 +155,7 @@ class SweepSpec:
         """Grid cardinality."""
         return (
             len(self.clusters) * len(self.nprocs) * len(self.sizes)
-            * len(self.algorithms) * len(self.seeds)
+            * len(self.algorithms) * len(self.patterns) * len(self.seeds)
         )
 
     def points(self) -> list[SweepPoint]:
@@ -133,18 +168,24 @@ class SweepSpec:
                 algorithm=algorithm,
                 seed=seed,
                 reps=self.reps,
+                pattern=pattern,
             )
-            for cluster, n, m, algorithm, seed in itertools.product(
+            for cluster, n, m, algorithm, pattern, seed in itertools.product(
                 self.clusters, self.nprocs, self.sizes,
-                self.algorithms, self.seeds,
+                self.algorithms, self.patterns, self.seeds,
             )
         ]
 
     def describe(self) -> str:
         """One-line shape summary for logs and the CLI."""
+        pattern_part = (
+            f"{len(self.patterns)} patterns x "
+            if self.patterns != (None,)
+            else ""
+        )
         return (
             f"{self.n_points} points "
             f"({len(self.clusters)} clusters x {len(self.nprocs)} nprocs x "
             f"{len(self.sizes)} sizes x {len(self.algorithms)} algorithms x "
-            f"{len(self.seeds)} seeds, reps={self.reps})"
+            f"{pattern_part}{len(self.seeds)} seeds, reps={self.reps})"
         )

@@ -1,0 +1,30 @@
+"""Traffic patterns: irregular (alltoallv-style) exchanges as data.
+
+The paper's §5 message-exchange-digraph formalism covers *arbitrary*
+personalised exchanges; this package makes them first-class across the
+whole pipeline.  A **pattern** is a registered generator producing an
+(n, n) byte matrix from ``(n_processes, msg_size)`` plus parameters:
+
+>>> from repro.traffic import PatternSpec
+>>> spec = PatternSpec("hotspot", {"targets": 2, "factor": 8.0})
+>>> W = spec.matrix(8, 32_768, seed=0)       # (8, 8) byte matrix
+>>> med = spec.med(8, 32_768, seed=0)        # paper §5 digraph
+
+Patterns flow through every layer: ``measure_alltoall(...,
+pattern=spec)`` simulates the matrix with the alltoallv rank programs,
+``SweepSpec(patterns=...)`` grids over them (cache keys include the
+pattern identity), ``WorkloadSpec.pattern`` makes them declarative in
+scenario TOML/JSON files, and ``repro-alltoall sweep --pattern
+hotspot:targets=2`` drives them from the CLI.  The built-in generators
+are in :mod:`repro.traffic.patterns`; add your own with
+``@repro.api.register_pattern("name")``.
+
+The parameterless ``uniform`` pattern *is* the legacy regular
+All-to-All: it collapses to the scalar ``msg_size`` path bit-for-bit
+(same rank programs, same RNG streams, same sweep cache keys).
+"""
+
+from . import patterns  # noqa: F401  (registers the built-in generators)
+from .spec import PatternSpec, as_pattern
+
+__all__ = ["PatternSpec", "as_pattern", "patterns"]

@@ -1,0 +1,180 @@
+"""Built-in traffic-pattern generators.
+
+Every generator maps ``(n_processes, msg_size)`` plus pattern-specific
+parameters to an ``(n, n)`` int64 byte matrix ``W``: entry ``W[i, j]``
+(i ≠ j) is the number of bytes process *i* sends to process *j*, and
+the diagonal ``W[i, i]`` is the data a process keeps for itself (the
+paper counts "n data items per process, including itself" — the
+diagonal never crosses the wire and lowers to a ``local_copy``).
+
+``msg_size`` is the *scale* of the pattern: the ``uniform`` generator
+reproduces the regular All-to-All exactly (every entry equals
+``msg_size``), and the skewed/sparse generators are normalised around
+the same per-pair scale so a message-size sweep remains meaningful
+across patterns.
+
+Randomised generators draw only from the ``rng`` keyword — a named
+:class:`numpy.random.Generator` stream derived from the sweep point's
+seed (see :meth:`repro.traffic.PatternSpec.matrix`) — so the same
+``(pattern, n, msg_size, seed)`` coordinate yields a bit-identical
+matrix in every process, which is what keeps the sweep result cache
+sound.  Add new patterns with ``@repro.api.register_pattern("name")``;
+no edit here required.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..registry import register_pattern
+
+__all__ = [
+    "uniform",
+    "zipf",
+    "hotspot",
+    "shift",
+    "permutation",
+    "block_sparse",
+    "random_sparse",
+]
+
+
+def _empty(n: int) -> np.ndarray:
+    return np.zeros((n, n), dtype=np.int64)
+
+
+@register_pattern("uniform", aliases=("alltoall", "regular"))
+def uniform(n_processes: int, msg_size: int, *, rng=None) -> np.ndarray:
+    """Regular All-to-All: every ordered pair exchanges ``msg_size`` bytes."""
+    return np.full((n_processes, n_processes), int(msg_size), dtype=np.int64)
+
+
+@register_pattern("zipf", aliases=("power-law",))
+def zipf(
+    n_processes: int, msg_size: int, *, rng, exponent: float = 1.0
+) -> np.ndarray:
+    """Zipf-skewed shuffle: destination popularity follows a power law.
+
+    Destination ranks are assigned popularity ``(k+1)^-exponent`` under a
+    seeded random permutation, then every sender splits the uniform
+    pattern's per-sender volume ``(n-1)·msg_size`` across all peers in
+    proportion to popularity — total traffic approximately matches
+    ``uniform`` (floor rounding loses up to one byte per pair) while a
+    few destinations absorb most of it (the skewed-shuffle regime of
+    Bienz et al.'s irregular workloads).
+    """
+    n = int(n_processes)
+    if exponent < 0:
+        raise ValueError("zipf exponent must be >= 0")
+    popularity = (np.arange(n, dtype=np.float64) + 1.0) ** -float(exponent)
+    popularity = popularity[rng.permutation(n)]
+    W = _empty(n)
+    for i in range(n):
+        weights = popularity.copy()
+        weights[i] = 0.0
+        share = weights / weights.sum()
+        W[i] = np.floor((n - 1) * int(msg_size) * share).astype(np.int64)
+        W[i, i] = int(msg_size)
+    return W
+
+
+@register_pattern("hotspot", aliases=("incast",))
+def hotspot(
+    n_processes: int,
+    msg_size: int,
+    *,
+    rng=None,
+    targets: int = 1,
+    factor: float = 8.0,
+) -> np.ndarray:
+    """Incast stress: *targets* hot ranks receive ``factor``× the base.
+
+    Ranks ``0 .. targets-1`` are the hotspots; every other rank sends
+    ``factor·msg_size`` to each hotspot and ``msg_size`` to everyone
+    else, concentrating receive-side load on the targets (the avoidable-
+    contention hotspot of Oltchik et al.).
+    """
+    n = int(n_processes)
+    if not 1 <= int(targets) <= n:
+        raise ValueError(f"hotspot targets must be in 1..{n}, got {targets}")
+    if factor < 1:
+        raise ValueError("hotspot factor must be >= 1")
+    W = np.full((n, n), int(msg_size), dtype=np.int64)
+    W[:, : int(targets)] = int(round(float(factor) * int(msg_size)))
+    np.fill_diagonal(W, int(msg_size))
+    return W
+
+
+@register_pattern("shift")
+def shift(
+    n_processes: int, msg_size: int, *, rng=None, offset: int = 1
+) -> np.ndarray:
+    """Static shift: rank *i* sends one ``msg_size`` block to ``i+offset``.
+
+    The sparsest personalised exchange (Δs = Δr = 1); ``offset`` is taken
+    modulo n and an offset of 0 degenerates to pure local copies.
+    """
+    n = int(n_processes)
+    W = _empty(n)
+    step = int(offset) % n
+    for i in range(n):
+        W[i, (i + step) % n] = int(msg_size)
+    return W
+
+
+@register_pattern("permutation")
+def permutation(n_processes: int, msg_size: int, *, rng) -> np.ndarray:
+    """Seeded random permutation: each rank sends one block, receives one.
+
+    The destination map is a random *n*-cycle (a cyclic shift conjugated
+    by a seeded permutation), so for n ≥ 2 no rank maps to itself.
+    """
+    n = int(n_processes)
+    W = _empty(n)
+    order = rng.permutation(n)
+    for k in range(n):
+        W[order[k], order[(k + 1) % n]] = int(msg_size)
+    if n == 1:
+        W[0, 0] = int(msg_size)
+    return W
+
+
+@register_pattern("block-sparse", aliases=("blocks",))
+def block_sparse(
+    n_processes: int, msg_size: int, *, rng=None, block: int = 4
+) -> np.ndarray:
+    """Block-local exchange: all-to-all inside blocks of ``block`` ranks.
+
+    Ranks ``[k·block, (k+1)·block)`` exchange ``msg_size`` with every
+    other member of their block and nothing across blocks — the sparse
+    halo/sub-communicator workload.
+    """
+    n = int(n_processes)
+    if block < 1:
+        raise ValueError("block size must be >= 1")
+    W = _empty(n)
+    for i in range(n):
+        base = (i // int(block)) * int(block)
+        for j in range(base, min(base + int(block), n)):
+            W[i, j] = int(msg_size)
+    return W
+
+
+@register_pattern("random-sparse", aliases=("sparse",))
+def random_sparse(
+    n_processes: int, msg_size: int, *, rng, density: float = 0.3
+) -> np.ndarray:
+    """Seeded sparse exchange: each ordered pair present with *density*.
+
+    Present arcs carry a seeded random size in ``[1, msg_size]``;
+    absent arcs (and the diagonal) carry nothing, so the matrix has
+    genuine zero entries — and, at low density, whole zero rows/columns.
+    """
+    n = int(n_processes)
+    if not 0.0 <= density <= 1.0:
+        raise ValueError("density must be in [0, 1]")
+    present = rng.random((n, n)) < float(density)
+    sizes = rng.integers(1, int(msg_size) + 1, size=(n, n))
+    W = np.where(present, sizes, 0).astype(np.int64)
+    np.fill_diagonal(W, 0)
+    return W

@@ -4,6 +4,7 @@ import pytest
 
 from repro.registry import ALGORITHMS
 from repro.simmpi.collectives import (
+    MATRIX_ALGORITHMS,
     alltoall_bruck,
     alltoall_direct,
     alltoall_ring,
@@ -13,6 +14,8 @@ from repro.simmpi.runtime import Runtime
 from repro.simmpi.transport import TransportParams
 from repro.simnet.topology import single_switch
 from repro.simnet.trace import Trace
+
+SCALAR_ALGORITHMS = sorted(set(ALGORITHMS.names()) - set(MATRIX_ALGORITHMS))
 
 
 def run_algorithm(program, n=4, msg_size=10_000, nic=100e6, trace=None, **tp):
@@ -30,15 +33,37 @@ def run_algorithm(program, n=4, msg_size=10_000, nic=100e6, trace=None, **tp):
 
 
 class TestCompletion:
-    @pytest.mark.parametrize("name", ALGORITHMS.names())
+    @pytest.mark.parametrize("name", SCALAR_ALGORITHMS)
     @pytest.mark.parametrize("n", [2, 3, 4, 7, 8])
     def test_all_algorithms_complete(self, name, n):
         result = run_algorithm(ALGORITHMS.get(name), n=n, msg_size=5_000)
         assert result.duration > 0
 
-    @pytest.mark.parametrize("name", ALGORITHMS.names())
+    @pytest.mark.parametrize("name", SCALAR_ALGORITHMS)
     def test_single_rank_trivial(self, name):
         result = run_algorithm(ALGORITHMS.get(name), n=1)
+        assert result.duration == 0.0
+        assert result.flows_completed == 0
+
+    @pytest.mark.parametrize("name", sorted(MATRIX_ALGORITHMS))
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 8])
+    def test_alltoallv_algorithms_complete(self, name, n):
+        import numpy as np
+
+        rng = np.random.default_rng(n)
+        matrix = rng.integers(0, 5_000, size=(n, n))
+        matrix[0, :] = 0  # rank 0 sends nothing — still must terminate
+        result = run_algorithm(ALGORITHMS.get(name), n=n, msg_size=matrix)
+        if matrix.sum() - np.trace(matrix) > 0:
+            assert result.duration > 0
+
+    @pytest.mark.parametrize("name", sorted(MATRIX_ALGORITHMS))
+    def test_alltoallv_single_rank_trivial(self, name):
+        import numpy as np
+
+        result = run_algorithm(
+            ALGORITHMS.get(name), n=1, msg_size=np.array([[123]])
+        )
         assert result.duration == 0.0
         assert result.flows_completed == 0
 

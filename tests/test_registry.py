@@ -65,8 +65,17 @@ class TestLookup:
     def test_builtins_present(self):
         assert CLUSTERS.names() == ["fast-ethernet", "gigabit-ethernet", "myrinet"]
         assert TOPOLOGIES.names() == ["edge-core", "single-switch"]
-        assert ALGORITHMS.names() == ["bruck", "direct", "ring", "rounds"]
+        assert ALGORITHMS.names() == [
+            "alltoallv-direct", "alltoallv-rounds",
+            "bruck", "direct", "ring", "rounds",
+        ]
         assert BACKENDS.names() == ["mpi4py", "sim"]
+        from repro.registry import PATTERNS
+
+        assert PATTERNS.names() == [
+            "block-sparse", "hotspot", "permutation", "random-sparse",
+            "shift", "uniform", "zipf",
+        ]
 
 
 class TestRegistration:
@@ -122,7 +131,10 @@ class TestDeprecationShims:
         with pytest.warns(DeprecationWarning, match="repro.simmpi.collectives.ALGORITHMS"):
             assert LEGACY["direct"] is alltoall_direct
         with pytest.warns(DeprecationWarning):
-            assert sorted(LEGACY) == ["bruck", "direct", "ring", "rounds"]
+            assert sorted(LEGACY) == [
+                "alltoallv-direct", "alltoallv-rounds",
+                "bruck", "direct", "ring", "rounds",
+            ]
 
     def test_legacy_imports_still_resolve(self):
         # Old import paths keep working (the shim objects are re-exported).
