@@ -1,0 +1,127 @@
+"""Bench: sweep-executor throughput (serial vs process, cold vs warm).
+
+Runs one fixed 64-point multi-pattern grid three times through the
+sweep engine with caching disabled — the simulation cost itself is the
+measured workload — and writes ``benchmarks/output/BENCH_sweep.json``:
+
+* ``serial``        — the in-process executor (baseline);
+* ``process_cold``  — the persistent-pool executor's **first**
+  ``run_points`` on a fresh runner (includes pool spin-up);
+* ``process_warm``  — a second ``run_points`` on the *same* runner,
+  reusing the warm pool (the steady-state of consecutive sweeps).
+
+The three runs must produce bit-identical rows (every point derives
+its random streams by name from its own coordinates), so the entry
+doubles as an executor-equivalence check; ``identical_rows`` records
+it.  Speedups are whatever the hardware gives: on a single-core
+container the process executor cannot beat serial, so consumers should
+read ``cpu_count`` alongside ``speedup_*``.
+
+Runs standalone (``python benchmarks/bench_sweep.py``) or under
+pytest; honours ``REPRO_BENCH_WORKERS`` (default: all cores, max 8).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.sweeps import SweepRunner, SweepSpec
+
+OUTPUT_PATH = Path(__file__).parent / "output" / "BENCH_sweep.json"
+
+#: 4 patterns x 2 process counts x 4 sizes x 2 seeds = 64 points.
+SPEC = dict(
+    clusters=("gigabit-ethernet",),
+    nprocs=(4, 6),
+    sizes=(2_048, 8_192, 32_768, 131_072),
+    algorithms=("direct",),
+    patterns=(
+        None,  # the regular All-to-All
+        {"name": "hotspot", "params": {"targets": 2, "factor": 8.0}},
+        {"name": "zipf", "params": {"exponent": 1.2}},
+        {"name": "block-sparse", "params": {"block": 2}},
+    ),
+    seeds=(0, 1),
+    reps=1,
+)
+
+
+def _bench_workers() -> int:
+    env = os.environ.get("REPRO_BENCH_WORKERS")
+    if env:
+        return max(1, int(env))
+    return max(2, min(os.cpu_count() or 1, 8))
+
+
+def _timed_run(runner: SweepRunner, points) -> tuple[float, list[dict]]:
+    """One uncached pass over *points*: (elapsed seconds, result rows)."""
+    start = time.perf_counter()
+    result = runner.run_points(points)
+    elapsed = time.perf_counter() - start
+    _, rows = result.to_rows()
+    return elapsed, rows
+
+
+def run_sweep_bench(output_path: Path = OUTPUT_PATH) -> dict:
+    """Execute the three passes; write and return the bench entry."""
+    spec = SweepSpec(**SPEC)
+    points = spec.points()
+    assert spec.n_points == 64, spec.describe()
+    workers = _bench_workers()
+
+    serial = SweepRunner(workers=1, cache=None, executor="serial")
+    serial_s, serial_rows = _timed_run(serial, points)
+
+    with SweepRunner(workers=workers, cache=None, executor="process") as pooled:
+        cold_s, cold_rows = _timed_run(pooled, points)      # pool spin-up
+        assert pooled.executor.warm
+        warm_s, warm_rows = _timed_run(pooled, points)      # pool reuse
+
+    def leg(elapsed: float) -> dict:
+        return {
+            "elapsed_s": round(elapsed, 4),
+            "points_per_sec": round(len(points) / elapsed, 2),
+        }
+
+    entry = {
+        "bench": "sweep_executor_throughput",
+        "points": len(points),
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "serial": leg(serial_s),
+        "process_cold": leg(cold_s),
+        "process_warm": leg(warm_s),
+        "speedup_cold": round(serial_s / cold_s, 2),
+        "speedup_warm": round(serial_s / warm_s, 2),
+        "identical_rows": serial_rows == cold_rows == warm_rows,
+    }
+    output_path.parent.mkdir(parents=True, exist_ok=True)
+    output_path.write_text(json.dumps(entry, indent=2) + "\n")
+    return entry
+
+
+def test_bench_sweep():
+    """Pytest entry: all three legs complete, agree, and land on disk."""
+    entry = run_sweep_bench()
+    assert entry["points"] == 64
+    assert entry["identical_rows"] is True
+    for leg in ("serial", "process_cold", "process_warm"):
+        assert entry[leg]["points_per_sec"] > 0
+    # Warm-pool reuse must at least not regress vs cold start.
+    assert entry["process_warm"]["elapsed_s"] <= entry["process_cold"]["elapsed_s"] * 1.5
+    if (os.cpu_count() or 1) >= 2:
+        # With real parallel hardware the pooled executor must win.
+        assert entry["speedup_warm"] > 1.0, entry
+    assert json.loads(OUTPUT_PATH.read_text()) == entry
+    print(
+        f"\nsweep bench: serial {entry['serial']['points_per_sec']} pt/s, "
+        f"process warm {entry['process_warm']['points_per_sec']} pt/s "
+        f"({entry['speedup_warm']}x, {entry['workers']} workers)"
+    )
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_sweep_bench(), indent=2))

@@ -10,6 +10,9 @@ The experiment grids route through the sweep engine
 
 * ``REPRO_BENCH_WORKERS`` — fan sweep points out over N worker
   processes (results are bit-identical to serial runs);
+* ``REPRO_BENCH_EXECUTOR`` — execution backend (``serial`` /
+  ``process`` / ``futures``); the default pool persists across
+  figures, so later grids start on warm workers;
 * ``REPRO_BENCH_CACHE`` — serve repeated points from an on-disk result
   cache at the given directory.  Leave unset when the *simulation cost
   itself* is what you are benchmarking.
@@ -40,6 +43,7 @@ def sweep_engine():
         workers=workers,
         cache_dir=cache_dir,
         enable_cache=cache_dir is not None,
+        executor=os.environ.get("REPRO_BENCH_EXECUTOR") or None,
     )
     yield runner
     if runner.cache is not None:

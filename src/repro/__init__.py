@@ -14,8 +14,11 @@ Public API tour
   discrete-event network simulator and an MPI-like runtime with four
   All-to-All algorithms.
 * :mod:`repro.experiments` — one driver per paper figure/table.
-* :mod:`repro.sweeps` — declarative measurement grids run on a worker
-  pool with on-disk result caching (the ``sweep`` CLI subcommand).
+* :mod:`repro.sweeps` — declarative measurement grids with on-disk
+  result caching (the ``sweep`` CLI subcommand).
+* :mod:`repro.exec` — pluggable sweep execution backends (serial /
+  persistent process pool / futures) behind ``@register_executor``,
+  per-point failure isolation, and streaming CSV/JSONL result sinks.
 * :mod:`repro.traffic` — traffic patterns: irregular (alltoallv-style)
   exchanges as registered (n, n) byte-matrix generators, usable across
   measurements, sweeps, scenarios and the CLI.
@@ -36,6 +39,7 @@ True
 """
 
 from . import clusters, core, measure, registry, simmpi, simnet, sweeps, traffic
+from . import exec as exec_  # noqa: F401 - "exec" shadows the builtin name
 from . import api, scenario
 from ._version import __version__
 from .api import Scenario
@@ -57,6 +61,7 @@ __all__ = [
     "api",
     "clusters",
     "core",
+    "exec",
     "measure",
     "registry",
     "scenario",

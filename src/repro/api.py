@@ -34,11 +34,13 @@ from .registry import (
     ALGORITHMS,
     BACKENDS,
     CLUSTERS,
+    EXECUTORS,
     PATTERNS,
     TOPOLOGIES,
     register_algorithm,
     register_backend,
     register_cluster,
+    register_executor,
     register_pattern,
     register_topology,
 )
@@ -61,16 +63,19 @@ __all__ = [
     "list_algorithms",
     "list_backends",
     "list_patterns",
+    "list_executors",
     "register_topology",
     "register_cluster",
     "register_algorithm",
     "register_backend",
     "register_pattern",
+    "register_executor",
     "TOPOLOGIES",
     "CLUSTERS",
     "ALGORITHMS",
     "BACKENDS",
     "PATTERNS",
+    "EXECUTORS",
 ]
 
 
@@ -97,6 +102,11 @@ def list_backends() -> list[str]:
 def list_patterns() -> list[str]:
     """Canonical names of all registered traffic patterns."""
     return PATTERNS.names()
+
+
+def list_executors() -> list[str]:
+    """Canonical names of all registered sweep executors."""
+    return EXECUTORS.names()
 
 
 class Scenario:
@@ -201,21 +211,25 @@ class Scenario:
             for seed in workload.seeds
         ]
 
-    def sweep(self, *, runner=None):
+    def sweep(self, *, runner=None, sinks=(), progress=None):
         """Run the workload grid through the sweep engine.
 
         Cache keys incorporate both the built profile's fingerprint and
         the scenario definition (:meth:`ScenarioSpec.cache_payload`);
         misses fan out to worker processes even though the profile is
         not registry-resolvable (workers rebuild it from the spec).
-        Returns a :class:`~repro.sweeps.SweepResult`.
+        *sinks* (:mod:`repro.exec.sinks`) receive one row per point as
+        it lands and *progress* is called as ``(done, total, result)``
+        on the same schedule.  Returns a
+        :class:`~repro.sweeps.SweepResult`.
         """
         from .sweeps.runner import default_runner
 
         if runner is None:
             runner = default_runner()
         return runner.run_points(
-            self.sweep_points(), profile=self.profile, scenario=self.spec
+            self.sweep_points(), profile=self.profile, scenario=self.spec,
+            sinks=sinks, progress=progress,
         )
 
     def fit_signature(self, *, runner=None, force: bool = False, **kwargs) -> Characterization:

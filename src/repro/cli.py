@@ -25,12 +25,13 @@ Predict an All-to-All time from paper-reported signatures::
     python -m repro.cli predict gigabit-ethernet 40 1048576
 
 Run a (clusters x nprocs x sizes x algorithms x seeds) grid on a worker
-pool with result caching, emitting CSV/JSONL::
+pool with result caching, streaming rows as points complete::
 
     python -m repro.cli sweep --clusters gigabit-ethernet,myrinet \
         --nprocs 4,8 --sizes 2kB,32kB,256kB --algorithms direct,bruck \
-        --workers 4 --cache-dir ~/.cache/repro-alltoall/sweeps \
-        --csv out/sweep.csv
+        --workers 4 --executor process --progress \
+        --cache-dir ~/.cache/repro-alltoall/sweeps \
+        --csv out/sweep.csv --output out/sweep.jsonl
 """
 
 from __future__ import annotations
@@ -77,6 +78,10 @@ _LIST_SECTIONS = {
         for name in api.list_patterns()
     ],
     "backends": lambda: [(name, "") for name in api.list_backends()],
+    "executors": lambda: [
+        (name, _doc_summary(api.EXECUTORS.get(name)))
+        for name in api.list_executors()
+    ],
 }
 
 
@@ -151,15 +156,65 @@ def _load_scenario(path: str) -> "api.Scenario | None":
         return None
 
 
-def _print_sweep_summary(result, *, csv=None, jsonl=None) -> None:
-    """The shared simulated/cached/elapsed block of sweep-style output."""
+def _print_sweep_summary(result, *, csv=None, jsonl=None, streamed=()) -> None:
+    """The shared simulated/cached/elapsed block of sweep-style output.
+
+    *streamed* paths were written incrementally during the run by
+    streaming sinks; *csv*/*jsonl* are saved here, post-hoc.
+    """
     print(f"simulated : {result.n_simulated}")
     print(f"cached    : {result.n_cached}")
+    if result.n_failed:
+        print(f"failed    : {result.n_failed}")
     print(f"elapsed   : {result.elapsed:.2f} s")
+    for label, path in streamed:
+        print(f"{label:<10}: {path}")
     if csv:
         print(f"csv       : {result.save_csv(csv)}")
     if jsonl:
         print(f"jsonl     : {result.save_jsonl(jsonl)}")
+
+
+def _sweep_sinks(args) -> tuple[tuple, list[tuple[str, str]]]:
+    """Streaming sinks for ``--csv``/``--jsonl``/``--output`` flags.
+
+    All three stream: rows are appended and flushed as each point
+    lands, so an interrupted sweep keeps every completed row.
+    """
+    from .exec.sinks import CsvSink, JsonlSink, sink_for
+
+    sinks, streamed = [], []
+    if args.csv:
+        sinks.append(CsvSink(args.csv))
+        streamed.append(("csv", args.csv))
+    if args.jsonl:
+        sinks.append(JsonlSink(args.jsonl))
+        streamed.append(("jsonl", args.jsonl))
+    for path in args.output or ():
+        sinks.append(sink_for(path))
+        streamed.append(("stream", path))
+    return tuple(sinks), streamed
+
+
+def _progress_printer():
+    """Per-point progress callback writing one line to stderr."""
+
+    def _report(done: int, total: int, result) -> None:
+        point = result.point
+        if not result.ok:
+            status = f"error: {result.error}"
+        elif result.cached:
+            status = "cached"
+        else:
+            status = format_time(result.sample.mean_time)
+        print(
+            f"[{done}/{total}] {point.cluster} {point.algorithm} "
+            f"n={point.n_processes} m={point.msg_size} {status}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return _report
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -280,6 +335,23 @@ def _csv_list(text: str) -> list[str]:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .sweeps import ResultCache, SweepRunner, SweepSpec, default_cache_dir
 
+    cache = None if args.no_cache else ResultCache(
+        args.cache_dir or default_cache_dir()
+    )
+    try:
+        runner = SweepRunner(
+            workers=args.workers,
+            cache=cache,
+            executor=args.executor,
+            retries=args.retries,
+            on_error="keep" if args.keep_going else "raise",
+        )
+        sinks, streamed = _sweep_sinks(args)
+    except ValueError as exc:
+        print(f"invalid sweep options: {exc}", file=sys.stderr)
+        return 2
+    progress = _progress_printer() if args.progress else None
+
     axis_flags = (
         "clusters", "nprocs", "sizes", "algorithms", "pattern",
         "seeds", "reps",
@@ -295,24 +367,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         scenario = _load_scenario(args.scenario)
         if scenario is None:
             return 2
-        cache = None if args.no_cache else ResultCache(
-            args.cache_dir or default_cache_dir()
-        )
         try:
-            runner = SweepRunner(workers=args.workers, cache=cache)
-        except ValueError as exc:
-            print(f"invalid sweep options: {exc}", file=sys.stderr)
-            return 2
-        try:
-            result = scenario.sweep(runner=runner)
+            result = scenario.sweep(runner=runner, sinks=sinks, progress=progress)
         except (MeasurementError, ScenarioError) as exc:
             print(f"sweep failed: {exc}", file=sys.stderr)
             return 1
         print(f"sweep     : {scenario.describe()}")
-        print(f"workers   : {runner.workers}")
+        print(f"workers   : {runner.workers} ({runner.executor_name} executor)")
         print(f"cache     : {cache.root if cache is not None else 'disabled'}")
-        _print_sweep_summary(result, csv=args.csv, jsonl=args.jsonl)
-        return 0
+        _print_sweep_summary(result, streamed=streamed)
+        return 1 if result.n_failed else 0
 
     try:
         spec = SweepSpec(
@@ -333,17 +397,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"invalid sweep spec: {exc}", file=sys.stderr)
         return 2
-    if args.no_cache:
-        cache = None
-    else:
-        cache = ResultCache(args.cache_dir or default_cache_dir())
     try:
-        runner = SweepRunner(workers=args.workers, cache=cache)
-    except ValueError as exc:
-        print(f"invalid sweep options: {exc}", file=sys.stderr)
-        return 2
-    try:
-        result = runner.run(spec)
+        result = runner.run(spec, sinks=sinks, progress=progress)
     except KeyError as exc:
         print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
         return 2
@@ -354,12 +409,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 1
 
     print(f"sweep     : {spec.describe()}")
-    print(f"workers   : {runner.workers}")
+    print(f"workers   : {runner.workers} ({runner.executor_name} executor)")
     print(f"cache     : {cache.root if cache is not None else 'disabled'}")
-    _print_sweep_summary(result, csv=args.csv, jsonl=args.jsonl)
-    if not args.csv and not args.jsonl:
+    _print_sweep_summary(result, streamed=streamed)
+    if not sinks:
         slowest = sorted(
-            result.results, key=lambda r: r.sample.mean_time, reverse=True
+            (r for r in result.results if r.ok),
+            key=lambda r: r.sample.mean_time, reverse=True,
         )[:5]
         print("slowest points:")
         for r in slowest:
@@ -368,7 +424,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"n={r.point.n_processes:<3} m={r.point.msg_size:<8} "
                 f"{format_time(r.sample.mean_time)}"
             )
-    return 0
+    return 1 if result.n_failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -470,6 +526,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="worker process count"
     )
     p_sweep.add_argument(
+        "--executor", default=None, metavar="NAME",
+        help="execution backend for cache-missed points: serial, process "
+             "(persistent warm worker pool, reused across runs), futures, "
+             "or a user-registered executor (default: process when "
+             "--workers > 1, else serial; see `list executors`)",
+    )
+    p_sweep.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-run a failed point up to N times before recording its "
+             "error (default: 0)",
+    )
+    p_sweep.add_argument(
+        "--keep-going", action="store_true",
+        help="record failed points as error rows and finish the sweep "
+             "(exit 1) instead of aborting on the first failure",
+    )
+    p_sweep.add_argument(
+        "--progress", action="store_true",
+        help="print one line per completed point to stderr",
+    )
+    p_sweep.add_argument(
         "--cache-dir", default=None,
         help="result cache directory (default: $REPRO_SWEEP_CACHE or "
              "~/.cache/repro-alltoall/sweeps)",
@@ -477,8 +554,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--no-cache", action="store_true", help="always simulate"
     )
-    p_sweep.add_argument("--csv", default=None, help="write rows as CSV")
-    p_sweep.add_argument("--jsonl", default=None, help="write rows as JSONL")
+    p_sweep.add_argument(
+        "--csv", default=None,
+        help="stream rows to a CSV file as points complete",
+    )
+    p_sweep.add_argument(
+        "--jsonl", default=None,
+        help="stream rows to a JSONL file as points complete",
+    )
+    p_sweep.add_argument(
+        "--output", action="append", default=None, metavar="FILE",
+        help="stream rows to FILE, sink picked by extension "
+             "(.csv or .jsonl; repeatable)",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
     return parser
 

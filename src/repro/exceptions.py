@@ -9,6 +9,7 @@ __all__ = [
     "RoutingError",
     "FittingError",
     "MeasurementError",
+    "ExecutionError",
     "BackendUnavailableError",
     "RegistryError",
     "DuplicateNameError",
@@ -64,6 +65,15 @@ class FittingError(ReproError):
 
 class MeasurementError(ReproError):
     """A measurement harness was misconfigured or produced no data."""
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """A sweep point failed inside an executor.
+
+    Raised when a worker-side exception cannot be re-hydrated as the
+    exception type that was originally raised (the isolation boundary
+    ships errors between processes as strings, not pickled objects).
+    """
 
 
 class BackendUnavailableError(MeasurementError):

@@ -1,0 +1,228 @@
+"""Pluggable executors: *how* cache-missed sweep points run.
+
+An executor consumes :class:`~repro.exec.task.ExecutionTask` batches and
+yields :class:`~repro.exec.task.TaskOutcome` objects **as they
+complete** (any order; the runner reassembles by index).  Built-ins:
+
+* ``serial``  — in-process, in-order; zero overhead, always safe.
+* ``process`` — a **persistent** ``multiprocessing.Pool`` streamed
+  through ``imap_unordered`` with batched chunks.  The pool survives
+  across ``run()`` calls, so consecutive sweeps on one runner reuse
+  warm workers instead of re-forking (the dominant cost of short
+  sweeps).  It is recycled automatically when the plugin registries
+  change, so forked workers never run with a stale plugin view.
+* ``futures`` — the same fan-out on ``concurrent.futures``
+  (``ProcessPoolExecutor``), for environments that prefer that stack.
+
+Register additional executors (SLURM, async, …) with
+:func:`repro.registry.register_executor`::
+
+    from repro.api import register_executor
+
+    @register_executor("my-grid")
+    def make(workers):
+        return MyGridExecutor(workers)
+
+Executors only ever see *portable* tasks when crossing process
+boundaries — the sweep planner keeps unpicklable profile-recipe tasks
+on the serial path (see ``SweepRunner._plan``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+from concurrent import futures as _cf
+from typing import Iterable, Iterator, Sequence
+
+from ..registry import EXECUTORS, register_executor, registry_epoch
+from . import task as _task
+from .task import ExecutionTask, TaskOutcome
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "FuturesExecutor",
+    "get_executor",
+]
+
+
+class Executor:
+    """Protocol for execution backends (subclass or duck-type it).
+
+    Attributes
+    ----------
+    name:
+        Registry name, echoed in logs and ``repro-alltoall list``.
+    distributed:
+        True when ``run`` ships tasks to other processes; the planner
+        only fans out registry/scenario-recipe (picklable) tasks to
+        distributed executors.
+    """
+
+    name = "base"
+    distributed = False
+
+    def run(self, tasks: Sequence[ExecutionTask]) -> Iterator[TaskOutcome]:
+        """Yield one outcome per task, in completion order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any long-lived resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """In-process, in-order execution (the ``workers=1`` path)."""
+
+    name = "serial"
+    distributed = False
+
+    def run(self, tasks: Iterable[ExecutionTask]) -> Iterator[TaskOutcome]:
+        for task in tasks:
+            # Resolved through the module so tests can intercept the
+            # single execution entry point for every executor at once.
+            yield _task.run_task(task)
+
+
+class _PooledExecutor(Executor):
+    """Shared lifecycle for executors holding a persistent worker pool.
+
+    The pool is created lazily on first ``run`` and **reused** across
+    calls — a runner doing many consecutive ``run_points`` batches pays
+    the spin-up cost once (warm start).  It is recycled automatically
+    when the plugin registries change (forked workers must never
+    resolve a stale registry view), and an ``atexit`` hook — registered
+    only while a pool is live, unregistered on :meth:`close` so closed
+    executors are not pinned in memory — reaps leftovers at interpreter
+    exit.  Subclasses supply :meth:`_make_pool` / :meth:`_shutdown_pool`
+    and ``run``.
+    """
+
+    distributed = True
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._pool = None
+        self._epoch: int | None = None
+
+    @property
+    def warm(self) -> bool:
+        """Whether a live pool is ready for reuse."""
+        return self._pool is not None
+
+    def _ensure_pool(self):
+        epoch = registry_epoch()
+        if self._pool is not None and epoch != self._epoch:
+            # Plugins were (un)registered after the workers started; a
+            # stale pool would resolve yesterday's registry view.
+            self.close()
+        if self._pool is None:
+            self._pool = self._make_pool()
+            self._epoch = epoch
+            atexit.register(self.close)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._shutdown_pool(self._pool)
+            self._pool = None
+            atexit.unregister(self.close)
+
+    def _make_pool(self):
+        raise NotImplementedError
+
+    def _shutdown_pool(self, pool) -> None:
+        raise NotImplementedError
+
+
+class ProcessExecutor(_PooledExecutor):
+    """Persistent ``multiprocessing.Pool`` streaming ``imap_unordered``.
+
+    Chunked submission amortises IPC: with *k* tasks and *w* workers,
+    chunks of ``max(1, k // (4 w))`` keep the pool busy while bounding
+    the tail latency of the final chunk.  Results stream back as
+    workers finish, so the runner can append to sinks and fill the
+    cache while later points are still simulating — memory stays
+    bounded by the in-flight window, not the sweep size.
+    """
+
+    name = "process"
+
+    @staticmethod
+    def chunksize(n_tasks: int, workers: int) -> int:
+        """Batched-streaming chunk size (4 waves per worker)."""
+        return max(1, n_tasks // (workers * 4))
+
+    def _make_pool(self):
+        return multiprocessing.Pool(self.workers)
+
+    def _shutdown_pool(self, pool) -> None:
+        pool.terminate()
+        pool.join()
+
+    def run(self, tasks: Sequence[ExecutionTask]) -> Iterator[TaskOutcome]:
+        pool = self._ensure_pool()
+        yield from pool.imap_unordered(
+            _task.run_task, tasks, chunksize=self.chunksize(len(tasks), self.workers)
+        )
+
+
+class FuturesExecutor(_PooledExecutor):
+    """``concurrent.futures.ProcessPoolExecutor`` fan-out.
+
+    Same persistence and registry-epoch recycling as
+    :class:`ProcessExecutor`; submission is per-task (no chunking), so
+    prefer ``process`` for very large sweeps and ``futures`` where the
+    ``concurrent.futures`` ecosystem (custom pools, instrumentation)
+    matters more than peak submission throughput.
+    """
+
+    name = "futures"
+
+    def _make_pool(self):
+        return _cf.ProcessPoolExecutor(max_workers=self.workers)
+
+    def _shutdown_pool(self, pool) -> None:
+        pool.shutdown()
+
+    def run(self, tasks: Sequence[ExecutionTask]) -> Iterator[TaskOutcome]:
+        pool = self._ensure_pool()
+        pending = [pool.submit(_task.run_task, task) for task in tasks]
+        for future in _cf.as_completed(pending):
+            yield future.result()
+
+
+@register_executor("serial", aliases=("inline", "sync"))
+def _make_serial(workers: int = 1) -> SerialExecutor:
+    """In-process execution; ``workers`` is accepted for uniformity."""
+    return SerialExecutor()
+
+
+@register_executor("process", aliases=("pool", "multiprocessing"))
+def _make_process(workers: int = 1) -> ProcessExecutor:
+    """Persistent multiprocessing pool with chunked unordered streaming."""
+    return ProcessExecutor(workers)
+
+
+@register_executor("futures", aliases=("concurrent-futures",))
+def _make_futures(workers: int = 1) -> FuturesExecutor:
+    """concurrent.futures process pool."""
+    return FuturesExecutor(workers)
+
+
+def get_executor(kind: str, workers: int = 1) -> Executor:
+    """Executor factory, resolved through the executor registry.
+
+    Unknown kinds raise :class:`~repro.exceptions.UnknownNameError`
+    naming the registered executors.
+    """
+    return EXECUTORS.get(kind)(workers)

@@ -217,8 +217,9 @@ def _signature_cached(
     hockney = reference_hockney(cluster, scale, seed=seed)
     sizes = sample_sizes_for(scale)
     # Routed through the sweep engine: the process-wide runner supplies
-    # parallelism (REPRO_SWEEP_WORKERS) and the on-disk result cache
-    # (REPRO_SWEEP_CACHE) on top of this in-memory lru_cache.
+    # the execution backend (REPRO_SWEEP_WORKERS / REPRO_SWEEP_EXECUTOR,
+    # a persistent warm pool across figures) and the on-disk result
+    # cache (REPRO_SWEEP_CACHE) on top of this in-memory lru_cache.
     samples = sweep_sizes(
         cluster, nprocs, sizes, reps=scale.reps, seed=seed + 1,
         runner=default_runner(),

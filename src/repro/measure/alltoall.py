@@ -113,19 +113,22 @@ def measure_alltoall(
     )
 
 
-def _run_points(cluster, points, runner, scenario=None):
+def _run_points(cluster, points, runner, scenario=None, progress=None):
     """Route points through a sweep runner (default: process-wide one).
 
     Imported lazily: :mod:`repro.sweeps` builds on this module.
     *scenario* (a :class:`~repro.scenario.ScenarioSpec`) is forwarded so
     cache keys incorporate the scenario definition and misses can fan
-    out to worker processes even for non-registry profiles.
+    out to worker processes even for non-registry profiles; *progress*
+    is the runner's per-point ``(done, total, result)`` callback.
     """
     from ..sweeps.runner import default_runner
 
     if runner is None:
         runner = default_runner()
-    return runner.run_points(points, profile=cluster, scenario=scenario).samples
+    return runner.run_points(
+        points, profile=cluster, scenario=scenario, progress=progress
+    ).samples
 
 
 def sweep_sizes(
@@ -139,12 +142,14 @@ def sweep_sizes(
     pattern=None,
     runner=None,
     scenario=None,
+    progress=None,
 ) -> list[AlltoallSample]:
     """Message-size sweep at fixed n (the fit figures 6/9/12).
 
     Routed through the sweep engine: pass a configured
     :class:`~repro.sweeps.SweepRunner` (or set ``REPRO_SWEEP_WORKERS`` /
-    ``REPRO_SWEEP_CACHE``) to parallelise and cache the points.
+    ``REPRO_SWEEP_EXECUTOR`` / ``REPRO_SWEEP_CACHE``) to parallelise
+    and cache the points; *progress* is called per landed point.
     """
     from ..sweeps.spec import SweepPoint
 
@@ -164,7 +169,7 @@ def sweep_sizes(
     except ValueError as exc:
         # Preserve the measure layer's exception hierarchy.
         raise MeasurementError(str(exc)) from None
-    return _run_points(cluster, points, runner, scenario)
+    return _run_points(cluster, points, runner, scenario, progress)
 
 
 def sweep_grid(
@@ -178,11 +183,12 @@ def sweep_grid(
     pattern=None,
     runner=None,
     scenario=None,
+    progress=None,
 ) -> list[AlltoallSample]:
     """(n, m) grid sweep (the surface figures 5/7/10/13).
 
-    Point order is n-major, size-minor.  Same runner semantics as
-    :func:`sweep_sizes`.
+    Point order is n-major, size-minor.  Same runner/progress semantics
+    as :func:`sweep_sizes`.
     """
     from ..sweeps.spec import SweepPoint
 
@@ -203,4 +209,4 @@ def sweep_grid(
     except ValueError as exc:
         # Preserve the measure layer's exception hierarchy.
         raise MeasurementError(str(exc)) from None
-    return _run_points(cluster, points, runner, scenario)
+    return _run_points(cluster, points, runner, scenario, progress)

@@ -77,7 +77,10 @@ class Mpi4pyBackend:
         MPI = self._mpi
         comm = self.comm
         rank = comm.Get_rank()
-        out = np.zeros(len(list(sizes)))
+        # Materialise once: a generator argument would be exhausted by
+        # len(list(...)) and then yield zero measurements.
+        sizes = [int(size) for size in sizes]
+        out = np.zeros(len(sizes))
         for idx, size in enumerate(sizes):
             buf = np.zeros(int(size), dtype=np.uint8)
             times = []

@@ -38,19 +38,34 @@ __all__ = [
     "Registry",
     "DeprecatedMapping",
     "normalize_name",
+    "registry_epoch",
     "TOPOLOGIES",
     "CLUSTERS",
     "ALGORITHMS",
     "BACKENDS",
     "PATTERNS",
+    "EXECUTORS",
     "register_topology",
     "register_cluster",
     "register_algorithm",
     "register_backend",
     "register_pattern",
+    "register_executor",
 ]
 
 T = TypeVar("T")
+
+#: Monotonic counter bumped on every (un)registration, in any registry.
+#: Long-lived worker pools compare it against the value they forked at:
+#: a changed epoch means the parent gained (or lost) plugins the workers
+#: never saw, so the pool must be recycled before reuse (see
+#: :class:`repro.exec.ProcessExecutor`).
+_epoch = 0
+
+
+def registry_epoch() -> int:
+    """Current plugin-registration epoch (see :data:`_epoch`)."""
+    return _epoch
 
 
 def normalize_name(name: str) -> str:
@@ -93,6 +108,7 @@ class Registry(Generic[T]):
             raise ValueError(f"{self.kind} name must be non-empty")
 
         def _register(target: T) -> T:
+            global _epoch
             all_names = {canonical, *(normalize_name(a) for a in aliases)}
             if not replace:
                 taken = sorted(a for a in all_names if a in self._aliases)
@@ -104,6 +120,7 @@ class Registry(Generic[T]):
             self._entries[canonical] = target
             for alias in all_names:
                 self._aliases[alias] = canonical
+            _epoch += 1
             return target
 
         if obj is None:
@@ -112,9 +129,11 @@ class Registry(Generic[T]):
 
     def unregister(self, name: str) -> None:
         """Remove an entry and all its aliases (testing/ablation helper)."""
+        global _epoch
         canonical = self.canonical(name)
         del self._entries[canonical]
         self._aliases = {a: c for a, c in self._aliases.items() if c != canonical}
+        _epoch += 1
 
     # -- lookup ---------------------------------------------------------
 
@@ -222,6 +241,10 @@ BACKENDS: Registry[Callable] = Registry("backend")
 #: traffic-pattern generators (see :mod:`repro.traffic`).
 PATTERNS: Registry[Callable] = Registry("pattern")
 
+#: ``f(workers: int) -> Executor`` execution-backend factories for the
+#: sweep engine (see :mod:`repro.exec`).
+EXECUTORS: Registry[Callable] = Registry("executor")
+
 
 def register_topology(name: str, *, aliases: tuple[str, ...] = (), replace: bool = False):
     """Decorator: register a topology factory ``f(n_hosts, **params)``."""
@@ -247,3 +270,8 @@ def register_pattern(name: str, *, aliases: tuple[str, ...] = (), replace: bool 
     """Decorator: register a traffic-pattern generator
     ``f(n_processes, msg_size, *, rng, **params) -> matrix``."""
     return PATTERNS.register(name, aliases=aliases, replace=replace)
+
+
+def register_executor(name: str, *, aliases: tuple[str, ...] = (), replace: bool = False):
+    """Decorator: register an executor factory ``f(workers) -> Executor``."""
+    return EXECUTORS.register(name, aliases=aliases, replace=replace)

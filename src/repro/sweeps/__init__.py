@@ -6,8 +6,10 @@ package turns those grids into first-class objects:
 
 * :class:`SweepSpec` — a declarative grid over clusters x nprocs x
   message sizes x algorithms x seeds;
-* :class:`SweepRunner` — fans points out over a ``multiprocessing``
-  pool and resolves repeats from an on-disk :class:`ResultCache`;
+* :class:`SweepRunner` — resolves points cache-first, runs misses on a
+  pluggable executor (:mod:`repro.exec`: serial / persistent process
+  pool / futures) with per-point failure isolation and streaming
+  result sinks;
 * :class:`ResultCache` — content-addressed store keyed by a hash of
   (point coordinates, cluster-profile fingerprint, cache version).
 

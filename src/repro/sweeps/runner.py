@@ -1,24 +1,39 @@
-"""Parallel sweep execution with transparent result caching.
+"""Sweep execution on pluggable backends, cache-first, streaming.
 
 The runner resolves every point against the :class:`ResultCache` first,
-fans the remaining (cache-miss) points out over a ``multiprocessing``
-pool, then stores the fresh results back.  Simulation order never
-affects results: each point's random streams are derived *by name* from
-its own coordinates (see the package docstring), so a point simulated by
-worker 3 of an 8-way pool is bit-identical to the same point simulated
-serially.
+plans the remaining (cache-miss) points as
+:class:`~repro.exec.ExecutionTask` payloads, and hands them to an
+**executor** from the :data:`repro.registry.EXECUTORS` registry —
+``serial`` (in-process), ``process`` (persistent warm worker pool with
+chunked ``imap_unordered`` streaming, the default when ``workers > 1``)
+or ``futures``.  Simulation order never affects results: each point's
+random streams are derived *by name* from its own coordinates (see the
+package docstring), so a point simulated by worker 3 of an 8-way pool
+is bit-identical to the same point simulated serially — and so are the
+cache keys.
 
-Workers re-build cluster profiles from their registry names (profiles
-hold topology closures and cannot be pickled).  Call sites that sweep a
-*custom* profile object — ablations built with
-``ClusterProfile.with_overrides`` — still get caching, and get
-parallelism whenever the profile is provably the registry one (same
-fingerprint); otherwise they fall back to in-process execution.
+Three cluster rebuild recipes mirror the three kinds of call site
+(plain registry names, scenario specs, ad-hoc profile objects); the
+planner picks per batch, falling back to in-process execution whenever
+a fabric cannot be rebuilt faithfully in a worker (non-registry
+profiles, spawn-started platforms with user plugins — see
+``_parallel_safe``).
+
+Failures are isolated per point: a worker exception becomes an error
+:class:`PointResult` (optionally retried ``retries`` times) instead of
+killing the sweep; with the default ``on_error="raise"`` the original
+exception is re-raised *after* every other point has resolved — and
+been cached/streamed — so no completed work is ever lost.
+
+Results stream as they land: pass ``sinks`` (incremental CSV/JSONL
+appenders from :mod:`repro.exec.sinks`) and/or a ``progress`` callback
+to ``run``/``run_points`` and arbitrarily large sweeps run in bounded
+memory.
 """
 
 from __future__ import annotations
 
-import functools
+import dataclasses
 import json
 import multiprocessing
 import os
@@ -29,8 +44,11 @@ from pathlib import Path
 from ..analysis.io import write_csv
 from ..clusters.profiles import ClusterProfile, get_cluster
 from ..core.signature import AlltoallSample
-from ..measure.alltoall import measure_alltoall
-from ..registry import CLUSTERS
+from ..exec.executors import Executor, SerialExecutor
+from ..exec.sinks import ROW_FIELDS, ResultSink
+from ..exec.task import ExecutionTask
+from ..exceptions import ExecutionError, UnknownNameError
+from ..registry import CLUSTERS, EXECUTORS
 from ..scenario import ScenarioSpec
 from .cache import ResultCache, point_key, profile_fingerprint
 from .spec import SweepPoint, SweepSpec
@@ -43,47 +61,79 @@ __all__ = [
     "default_runner",
 ]
 
-
-def _execute_point(point: SweepPoint) -> AlltoallSample:
-    """Simulate one point (top-level so worker processes can pickle it)."""
-    cluster = get_cluster(point.cluster)
-    return measure_alltoall(
-        cluster,
-        point.n_processes,
-        point.msg_size,
-        reps=point.reps,
-        seed=point.seed,
-        algorithm=point.algorithm,
-        pattern=point.pattern,
-    )
+#: Shared fallback for batches that must run in-process (unpicklable
+#: profile recipes, single misses, spawn-unsafe plugins).  Stateless.
+_INLINE = SerialExecutor()
 
 
-def _execute_scenario_point(spec_dict: dict, point: SweepPoint) -> AlltoallSample:
-    """Simulate one scenario point in a worker process.
+class _OrderedEmitter:
+    """Stream rows to sinks in expansion order despite unordered landings.
 
-    Scenario profiles hold topology closures and cannot be pickled, but
-    their *specs* serialise to plain dicts: each worker rebuilds the
-    profile from the dict, which is deterministic by construction.
+    Executors complete points in arbitrary order; files written in that
+    order would differ byte-for-byte between worker counts.  This
+    buffer flushes the contiguous prefix the moment it is complete —
+    the serial path therefore streams with zero buffering — and
+    :meth:`drain` writes any landed-but-gapped rows (index order) when
+    a sweep ends early, so interruption never loses a completed point.
     """
-    profile = ScenarioSpec.from_dict(spec_dict).build_profile()
-    return measure_alltoall(
-        profile,
-        point.n_processes,
-        point.msg_size,
-        reps=point.reps,
-        seed=point.seed,
-        algorithm=point.algorithm,
-        pattern=point.pattern,
-    )
+
+    def __init__(self, total: int, sinks) -> None:
+        self.total = total
+        self.sinks = sinks
+        self._pending: dict[int, PointResult] = {}
+        self._next = 0
+
+    def _write(self, result: PointResult) -> None:
+        row = result.to_row()
+        for sink in self.sinks:
+            sink.write(row)
+
+    def land(self, index: int, result: PointResult) -> None:
+        if not self.sinks:
+            return
+        self._pending[index] = result
+        while self._next in self._pending:
+            self._write(self._pending.pop(self._next))
+            self._next += 1
+
+    def drain(self) -> None:
+        for index in sorted(self._pending):
+            self._write(self._pending.pop(index))
 
 
 @dataclass(frozen=True)
 class PointResult:
-    """One resolved point: where its sample came from."""
+    """One resolved point: where its sample came from — or why it failed."""
 
     point: SweepPoint
-    sample: AlltoallSample
+    sample: AlltoallSample | None
     cached: bool
+    error: str | None = None
+    error_type: str | None = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_row(self) -> dict[str, object]:
+        """Flat tabular view of this point (:data:`ROW_FIELDS` schema)."""
+        return {
+            "cluster": self.point.cluster,
+            "algorithm": self.point.algorithm,
+            "pattern": (
+                "uniform" if self.point.pattern is None
+                else self.point.pattern.key()
+            ),
+            "n_processes": self.point.n_processes,
+            "msg_size": self.point.msg_size,
+            "seed": self.point.seed,
+            "reps": self.point.reps,
+            "mean_time": None if self.sample is None else self.sample.mean_time,
+            "std_time": None if self.sample is None else self.sample.std_time,
+            "cached": int(self.cached),
+            "error": self.error or "",
+        }
 
 
 @dataclass
@@ -97,7 +147,7 @@ class SweepResult:
 
     @property
     def samples(self) -> list[AlltoallSample]:
-        """The samples alone (expansion order)."""
+        """The samples alone (expansion order; ``None`` for failed points)."""
         return [r.sample for r in self.results]
 
     @property
@@ -111,35 +161,22 @@ class SweepResult:
 
     @property
     def n_simulated(self) -> int:
-        """Points that ran a fresh simulation."""
-        return sum(1 for r in self.results if not r.cached)
+        """Points that ran a fresh simulation (successfully)."""
+        return sum(1 for r in self.results if not r.cached and r.ok)
+
+    @property
+    def n_failed(self) -> int:
+        """Points whose simulation errored (after any retries)."""
+        return sum(1 for r in self.results if not r.ok)
+
+    @property
+    def failures(self) -> list[PointResult]:
+        """The failed points (expansion order)."""
+        return [r for r in self.results if not r.ok]
 
     def to_rows(self) -> tuple[list[str], list[dict[str, object]]]:
         """Flat tabular view (CSV/JSONL-ready)."""
-        fieldnames = [
-            "cluster", "algorithm", "pattern", "n_processes", "msg_size",
-            "seed", "reps", "mean_time", "std_time", "cached",
-        ]
-        rows: list[dict[str, object]] = []
-        for r in self.results:
-            rows.append(
-                {
-                    "cluster": r.point.cluster,
-                    "algorithm": r.point.algorithm,
-                    "pattern": (
-                        "uniform" if r.point.pattern is None
-                        else r.point.pattern.key()
-                    ),
-                    "n_processes": r.point.n_processes,
-                    "msg_size": r.point.msg_size,
-                    "seed": r.point.seed,
-                    "reps": r.point.reps,
-                    "mean_time": r.sample.mean_time,
-                    "std_time": r.sample.std_time,
-                    "cached": int(r.cached),
-                }
-            )
-        return fieldnames, rows
+        return list(ROW_FIELDS), [r.to_row() for r in self.results]
 
     def save_csv(self, path: str | Path) -> Path:
         """Persist rows as CSV (parents created)."""
@@ -158,31 +195,92 @@ class SweepResult:
 
 
 class SweepRunner:
-    """Execute sweep points over a worker pool, cache-first.
+    """Execute sweep points on a pluggable executor, cache-first.
 
     Parameters
     ----------
     workers:
-        Worker process count; ``1`` executes in-process (no pool).
+        Worker count handed to the executor factory; ``1`` keeps
+        everything in-process.
     cache:
         Result cache, or ``None`` to always simulate.
+    executor:
+        Executor registry name (``serial`` / ``process`` / ``futures``
+        or a user-registered one), or a live
+        :class:`~repro.exec.Executor` instance.  Default: ``process``
+        when ``workers > 1``, else ``serial``.  The instance is built
+        lazily and **kept** — consecutive ``run_points`` calls on one
+        runner reuse a warm worker pool.
+    retries:
+        How many times a failed point is re-run before its error is
+        recorded (transient worker failures; deterministic simulation
+        errors fail identically every attempt).
+    on_error:
+        ``"raise"`` (default): after the whole batch resolves, re-raise
+        the first failure (completed points are already cached and
+        streamed).  ``"keep"``: record failures as error
+        :class:`PointResult` rows and return normally.
     """
 
-    def __init__(self, *, workers: int = 1, cache: ResultCache | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        cache: ResultCache | None = None,
+        executor: str | Executor | None = None,
+        retries: int = 0,
+        on_error: str = "raise",
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if on_error not in ("raise", "keep"):
+            raise ValueError(f"on_error must be 'raise' or 'keep', got {on_error!r}")
         self.workers = workers
         self.cache = cache
+        self.retries = retries
+        self.on_error = on_error
+        if executor is None:
+            executor = "process" if workers > 1 else "serial"
+        if isinstance(executor, str):
+            # Resolve eagerly: unknown names fail at construction with
+            # the known-executors message, not mid-sweep.
+            self.executor_name = EXECUTORS.canonical(executor)
+            self._executor: Executor | None = None
+        else:
+            self.executor_name = getattr(executor, "name", type(executor).__name__)
+            self._executor = executor
+
+    @property
+    def executor(self) -> Executor:
+        """The live executor (built on first use, then reused warm)."""
+        if self._executor is None:
+            self._executor = EXECUTORS.get(self.executor_name)(self.workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the executor (its worker pool, if any)."""
+        if self._executor is not None:
+            self._executor.close()
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- public API -----------------------------------------------------
 
-    def run(self, spec: SweepSpec) -> SweepResult:
+    def run(
+        self,
+        spec: SweepSpec,
+        *,
+        sinks: tuple[ResultSink, ...] = (),
+        progress=None,
+    ) -> SweepResult:
         """Resolve every point of *spec* (cache hits + fresh simulations)."""
-        unknown = [c for c in spec.clusters if c not in CLUSTERS]
-        if unknown:
-            known = ", ".join(CLUSTERS.names())
-            raise KeyError(f"unknown clusters {unknown}; known: {known}")
-        result = self.run_points(spec.points())
+        result = self.run_points(spec.points(), sinks=sinks, progress=progress)
         result.spec = spec
         return result
 
@@ -192,23 +290,40 @@ class SweepRunner:
         *,
         profile: ClusterProfile | None = None,
         scenario: ScenarioSpec | None = None,
+        sinks: tuple[ResultSink, ...] = (),
+        progress=None,
     ) -> SweepResult:
         """Resolve an explicit point list.
 
         With *profile* set, every point is simulated on that object (its
         ``cluster`` field is used only for cache keying/labels); without
-        it, cluster names are resolved through the registry, which is
-        what allows fan-out to worker processes.
+        it, cluster names are resolved through the registry — unknown
+        names fail fast here with the known-names message, never inside
+        a worker.
 
         With *scenario* set (a :class:`~repro.scenario.ScenarioSpec`),
         the profile defaults to ``scenario.build_profile()``, cache keys
         additionally hash the scenario definition (so two different
         scenarios can never collide), and misses fan out to worker
         processes by shipping the spec dict instead of the profile.
+
+        *sinks* receive one flat row per point, each write flushed, in
+        **expansion order**: the contiguous prefix streams out as soon
+        as its points land (so the files are byte-identical across
+        executors and worker counts), and any landed-but-gapped rows
+        are drained on close — an interrupted sweep keeps every
+        completed row.  *progress* is called as
+        ``progress(done, total, point_result)`` in live completion
+        order.
         """
         start = time.perf_counter()
         if profile is None and scenario is not None:
             profile = scenario.build_profile()
+        if profile is None and scenario is None:
+            unknown = sorted({p.cluster for p in points if p.cluster not in CLUSTERS})
+            if unknown:
+                known = ", ".join(CLUSTERS.names())
+                raise UnknownNameError(f"unknown clusters {unknown}; known: {known}")
         scenario_payload = (
             scenario.cache_payload() if scenario is not None else None
         )
@@ -243,20 +358,84 @@ class SweepRunner:
                     cached.add(idx)
         misses = [idx for idx in range(len(points)) if idx not in samples]
 
-        for idx, sample in self._execute(misses, points, profile, scenario):
-            samples[idx] = sample
-            if self.cache is not None:
-                self.cache.put(keys[idx], points[idx], sample)
+        total = len(points)
+        resolved: dict[int, PointResult] = {}
+        opened: list[ResultSink] = []
+        emitter = _OrderedEmitter(total, opened)
+        try:
+            for sink in sinks:
+                sink.open(ROW_FIELDS)
+                opened.append(sink)
+            for idx in sorted(cached):
+                result = PointResult(
+                    point=points[idx], sample=samples[idx], cached=True
+                )
+                resolved[idx] = result
+                emitter.land(idx, result)
+                if progress is not None:
+                    progress(len(resolved), total, result)
+            for outcome in self._execute(misses, points, profile, scenario):
+                idx = outcome.index
+                if outcome.ok and self.cache is not None:
+                    self.cache.put(keys[idx], points[idx], outcome.sample)
+                result = PointResult(
+                    point=points[idx],
+                    sample=outcome.sample,
+                    cached=False,
+                    error=outcome.error,
+                    error_type=outcome.error_type,
+                    attempts=outcome.attempts,
+                )
+                resolved[idx] = result
+                emitter.land(idx, result)
+                if progress is not None:
+                    progress(len(resolved), total, result)
+        finally:
+            # Drain landed-but-gapped rows (interrupted runs keep every
+            # completed point), then release every successfully-opened
+            # sink — a sink whose open() raised leaks nothing.
+            emitter.drain()
+            for sink in opened:
+                sink.close()
 
-        results = [
-            PointResult(point=points[idx], sample=samples[idx], cached=idx in cached)
-            for idx in range(len(points))
-        ]
+        results = [resolved[idx] for idx in range(total)]
+        failures = [r for r in results if not r.ok]
+        if failures and self.on_error == "raise":
+            raise self._rehydrate(failures[0])
         return SweepResult(
             results=results,
             elapsed=time.perf_counter() - start,
             workers=self.workers,
         )
+
+    # -- streaming ------------------------------------------------------
+
+    @staticmethod
+    def _rehydrate(failure: PointResult) -> Exception:
+        """Rebuild the exception a failed point's worker reported.
+
+        Errors cross process boundaries as ``(message, type name)``
+        strings; the type is looked up in :mod:`repro.exceptions`, then
+        in builtins, else wrapped as
+        :class:`~repro.exceptions.ExecutionError` — so call sites keep
+        catching :class:`MeasurementError` & co. exactly as before the
+        isolation boundary existed.
+        """
+        import builtins
+
+        from .. import exceptions as _exceptions
+
+        name = failure.error_type or ""
+        cls = getattr(_exceptions, name, None) or getattr(builtins, name, None)
+        if not (isinstance(cls, type) and issubclass(cls, Exception)):
+            cls = ExecutionError
+        try:
+            return cls(failure.error)
+        except Exception:
+            # Some exception types need multiple constructor arguments
+            # (e.g. UnicodeDecodeError); never let the re-raise path
+            # itself blow up and mask the point's real failure.
+            return ExecutionError(f"{name}: {failure.error}")
 
     # -- execution ------------------------------------------------------
 
@@ -324,6 +503,50 @@ class SweepRunner:
             return True
         return scenario.uses_only_builtin_plugins()
 
+    def _plan(
+        self,
+        misses: list[int],
+        points: list[SweepPoint],
+        profile: ClusterProfile | None,
+        scenario: ScenarioSpec | None,
+    ) -> tuple[list[ExecutionTask], bool]:
+        """Choose the rebuild recipe for a miss batch.
+
+        Returns ``(tasks, fan_out)``; with ``fan_out`` false the batch
+        runs on the in-process serial fallback regardless of the
+        configured executor (unpicklable profiles, single misses,
+        plugins a fresh worker could not resolve).
+        """
+        fan_out = (
+            self.workers > 1
+            and len(misses) > 1
+            and getattr(self.executor, "distributed", False)
+        )
+        if scenario is not None:
+            if fan_out and self._scenario_parallel_safe(scenario):
+                # Scenario specs are picklable even when their profiles
+                # are not: workers rebuild the profile from the dict.
+                payload = scenario.to_dict()
+                return (
+                    [ExecutionTask(i, points[i], scenario=payload) for i in misses],
+                    True,
+                )
+            return (
+                [ExecutionTask(i, points[i], profile=profile) for i in misses],
+                False,
+            )
+        if fan_out and self._parallel_safe(profile, [points[i] for i in misses]):
+            # Registry-resolvable (by construction when profile is set:
+            # it probed identical to the registry entry): workers
+            # rebuild clusters by name.
+            return [ExecutionTask(i, points[i]) for i in misses], True
+        if profile is not None:
+            return (
+                [ExecutionTask(i, points[i], profile=profile) for i in misses],
+                False,
+            )
+        return [ExecutionTask(i, points[i]) for i in misses], False
+
     def _execute(
         self,
         misses: list[int],
@@ -331,52 +554,29 @@ class SweepRunner:
         profile: ClusterProfile | None,
         scenario: ScenarioSpec | None = None,
     ):
-        """Yield ``(index, sample)`` for every cache-missed point."""
+        """Yield a final :class:`TaskOutcome` per miss (completion order)."""
         if not misses:
             return
-        parallel_wanted = self.workers > 1 and len(misses) > 1
-        if (
-            parallel_wanted
-            and scenario is not None
-            and self._scenario_parallel_safe(scenario)
-        ):
-            # Scenario specs are picklable even when their profiles are
-            # not: workers rebuild the profile from the spec dict.
-            todo = [points[idx] for idx in misses]
-            worker = functools.partial(
-                _execute_scenario_point, scenario.to_dict()
-            )
-            with multiprocessing.Pool(min(self.workers, len(todo))) as pool:
-                for idx, sample in zip(
-                    misses, pool.map(worker, todo, chunksize=1)
-                ):
-                    yield idx, sample
-            return
-        if parallel_wanted and self._parallel_safe(
-            profile, [points[i] for i in misses]
-        ):
-            todo = [points[idx] for idx in misses]
-            with multiprocessing.Pool(min(self.workers, len(todo))) as pool:
-                for idx, sample in zip(
-                    misses, pool.map(_execute_point, todo, chunksize=1)
-                ):
-                    yield idx, sample
-            return
-        for idx in misses:
-            point = points[idx]
-            if profile is not None:
-                sample = measure_alltoall(
-                    profile,
-                    point.n_processes,
-                    point.msg_size,
-                    reps=point.reps,
-                    seed=point.seed,
-                    algorithm=point.algorithm,
-                    pattern=point.pattern,
-                )
-            else:
-                sample = _execute_point(point)
-            yield idx, sample
+        tasks, fan_out = self._plan(misses, points, profile, scenario)
+        executor = self.executor if fan_out else _INLINE
+        yield from self._with_retries(executor, tasks)
+
+    def _with_retries(self, executor: Executor, tasks: list[ExecutionTask]):
+        """Run *tasks*, re-submitting failures up to ``retries`` times."""
+        by_index = {task.index: task for task in tasks}
+        pending = tasks
+        for attempt in range(1, self.retries + 2):
+            last = attempt == self.retries + 1
+            retry: list[ExecutionTask] = []
+            for outcome in executor.run(pending):
+                outcome = dataclasses.replace(outcome, attempts=attempt)
+                if outcome.ok or last:
+                    yield outcome
+                else:
+                    retry.append(by_index[outcome.index])
+            if not retry:
+                return
+            pending = retry
 
 
 # ----------------------------------------------------------------------
@@ -386,25 +586,66 @@ class SweepRunner:
 _default_runner: SweepRunner | None = None
 
 
+def _env_int(name: str, default: int) -> int:
+    """Parse a positive-integer env knob with a friendly error."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be an integer >= 1, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(f"{name} must be an integer >= 1, got {raw!r}")
+    return value
+
+
 def configure_default_runner(
     *,
     workers: int | None = None,
     cache_dir: str | Path | None = None,
     enable_cache: bool | None = None,
+    executor: str | Executor | None = None,
+    retries: int | None = None,
 ) -> SweepRunner:
     """(Re)build the process-wide runner used by library sweep helpers.
 
     With no arguments, configuration comes from the environment:
-    ``REPRO_SWEEP_WORKERS`` (default 1) and ``REPRO_SWEEP_CACHE`` (a
-    directory; unset disables caching).
+    ``REPRO_SWEEP_WORKERS`` (default 1), ``REPRO_SWEEP_EXECUTOR``
+    (an executor registry name; default ``process``/``serial`` by
+    worker count) and ``REPRO_SWEEP_CACHE`` (a directory; unset
+    disables caching).  Malformed values raise immediately with the
+    offending variable named, instead of surfacing as a bare
+    ``ValueError``/``KeyError`` at the first sweep.
+
+    Replacing the runner closes the previous one (shutting down its
+    warm worker pool, if any).
     """
     global _default_runner
     if workers is None:
-        workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))
+        workers = _env_int("REPRO_SWEEP_WORKERS", 1)
+    if executor is None:
+        raw = os.environ.get("REPRO_SWEEP_EXECUTOR")
+        if raw is not None and raw.strip():
+            if raw not in EXECUTORS:
+                known = ", ".join(EXECUTORS.names())
+                raise UnknownNameError(
+                    f"REPRO_SWEEP_EXECUTOR: unknown executor {raw!r}; known: {known}"
+                )
+            executor = raw
     if enable_cache is None:
         enable_cache = cache_dir is not None or bool(os.environ.get("REPRO_SWEEP_CACHE"))
     cache = ResultCache(cache_dir) if enable_cache else None
-    _default_runner = SweepRunner(workers=workers, cache=cache)
+    if _default_runner is not None:
+        _default_runner.close()
+    _default_runner = SweepRunner(
+        workers=workers,
+        cache=cache,
+        executor=executor,
+        retries=retries if retries is not None else 0,
+    )
     return _default_runner
 
 

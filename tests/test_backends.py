@@ -22,6 +22,55 @@ class TestSimBackend:
         assert "gigabit-ethernet" in SimBackend(gige_cluster).name
 
 
+class _FakeMpi:
+    """Just enough MPI surface for rank-0 pingpong bookkeeping."""
+
+    BYTE = object()
+
+
+class _FakeComm:
+    def Get_rank(self) -> int:
+        return 0
+
+    def Get_size(self) -> int:
+        return 2
+
+    def Barrier(self) -> None:
+        pass
+
+    def Send(self, buf, dest, tag) -> None:
+        pass
+
+    def Recv(self, buf, source, tag) -> None:
+        pass
+
+    def bcast(self, value, root=0):
+        return value
+
+
+class TestMpi4pyProbes:
+    def _backend(self) -> Mpi4pyBackend:
+        backend = Mpi4pyBackend.__new__(Mpi4pyBackend)
+        backend._mpi = _FakeMpi()
+        backend.comm = _FakeComm()
+        return backend
+
+    def test_pingpong_times_accepts_generator(self):
+        # Regression: sizes used to be consumed twice (len(list(sizes))
+        # then enumerate(sizes)) — a generator argument sized the output
+        # array and then yielded zero measurements.
+        backend = self._backend()
+        times = backend.pingpong_times(int(s) for s in (16, 64, 256))
+        assert times.shape == (3,)
+        assert np.all(times >= 0)
+
+    def test_pingpong_times_matches_list_argument(self):
+        backend = self._backend()
+        from_list = backend.pingpong_times([16, 64], reps=1)
+        from_gen = backend.pingpong_times(iter([16, 64]), reps=1)
+        assert from_list.shape == from_gen.shape == (2,)
+
+
 class TestFactory:
     def test_sim_requires_cluster(self):
         with pytest.raises(ValueError, match="cluster"):

@@ -18,6 +18,7 @@ from repro.sweeps import (
     point_key,
     profile_fingerprint,
 )
+import repro.exec.task as task_mod
 import repro.sweeps.runner as runner_mod
 
 
@@ -186,12 +187,13 @@ class TestRunner:
         assert first.n_cached == 0
 
         # Second identical run must not simulate a single point: make any
-        # simulation attempt blow up.
+        # simulation attempt blow up.  Every executor funnels through
+        # repro.exec.task.run_task, so patching that module's
+        # measure_alltoall intercepts all execution paths at once.
         def boom(*args, **kwargs):
             raise AssertionError("cache miss: a simulation was attempted")
 
-        monkeypatch.setattr(runner_mod, "measure_alltoall", boom)
-        monkeypatch.setattr(runner_mod, "_execute_point", boom)
+        monkeypatch.setattr(task_mod, "measure_alltoall", boom)
         second = SweepRunner(workers=1, cache=ResultCache(tmp_path)).run(spec)
         assert second.n_simulated == 0
         assert second.n_cached == spec.n_points
