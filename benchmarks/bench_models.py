@@ -1,0 +1,127 @@
+"""Bench: cost-model zoo fit + predict throughput per model.
+
+Builds a deterministic synthetic sample set from the paper's GigE
+signature (no simulation — the fitting/eval machinery itself is the
+measured workload), then per registered built-in model measures
+
+* fit throughput   — fits/second over the 32-sample set;
+* predict throughput — vectorised predictions/second over a 10k grid;
+
+asserts every fitted parameter is finite and that two independent
+model-comparison runs rank identically (the selection pipeline is
+deterministic by construction), and writes
+``benchmarks/output/BENCH_models.json``.
+
+Runs standalone (``python benchmarks/bench_models.py``) or under pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import AlltoallSample, ContentionSignature, HockneyParams
+from repro.models import DEFAULT_MODELS, compare_models, get_model
+
+OUTPUT_PATH = Path(__file__).parent / "output" / "BENCH_models.json"
+
+HOCKNEY = HockneyParams(alpha=50e-6, beta=8.5e-9)
+SIGNATURE = ContentionSignature(
+    gamma=4.3628, delta=4.93e-3, threshold=8_192, hockney=HOCKNEY
+)
+
+FIT_REPEATS = 25
+PREDICT_GRID = 10_000
+
+
+def synthetic_samples() -> list[AlltoallSample]:
+    """32 deterministic samples drawn from the paper-reported signature."""
+    rng = np.random.default_rng(2006)
+    samples = []
+    for n in (4, 8, 16, 32):
+        for m in (2_048, 8_192, 32_768, 131_072, 262_144, 524_288,
+                  786_432, 1_048_576):
+            t = float(SIGNATURE.predict(n, m)) * (
+                1.0 + 0.02 * float(rng.standard_normal())
+            )
+            samples.append(
+                AlltoallSample(
+                    n_processes=n, msg_size=m, mean_time=abs(t),
+                    std_time=abs(t) * 0.01, reps=3,
+                )
+            )
+    return samples
+
+
+def run_models_bench(output_path: Path = OUTPUT_PATH) -> dict:
+    """Fit/predict throughput per model; write and return the entry."""
+    samples = synthetic_samples()
+    gige = None
+    try:
+        from repro.clusters.profiles import get_cluster
+
+        gige = get_cluster("gigabit-ethernet")
+    except Exception:  # pragma: no cover - bench must run even degraded
+        pass
+
+    per_model = {}
+    for name in DEFAULT_MODELS:
+        model = get_model(name)
+        fitted = model.fit(samples, hockney=HOCKNEY, cluster=gige)
+        assert all(
+            math.isfinite(v) for v in fitted.params.values()
+            if isinstance(v, float)
+        ), f"{name}: non-finite params {fitted.params}"
+
+        start = time.perf_counter()
+        for _ in range(FIT_REPEATS):
+            model.fit(samples, hockney=HOCKNEY, cluster=gige)
+        fit_elapsed = time.perf_counter() - start
+
+        n_grid = np.linspace(4, 64, PREDICT_GRID)
+        m_grid = np.linspace(1_024, 1_048_576, PREDICT_GRID)
+        start = time.perf_counter()
+        predictions = np.asarray(fitted.predict(n_grid, m_grid))
+        predict_elapsed = time.perf_counter() - start
+        assert predictions.shape == (PREDICT_GRID,)
+        assert np.all(np.isfinite(predictions))
+
+        per_model[name] = {
+            "fits_per_sec": round(FIT_REPEATS / fit_elapsed, 2),
+            "predict_points_per_sec": round(PREDICT_GRID / predict_elapsed, 0),
+            "params_finite": True,
+        }
+
+    first = compare_models(samples, hockney=HOCKNEY, cluster=gige)
+    second = compare_models(samples, hockney=HOCKNEY, cluster=gige)
+    assert first.ranking == second.ranking, (first.ranking, second.ranking)
+    assert first.ranking.index("signature") < first.ranking.index("hockney")
+
+    entry = {
+        "bench": "cost_model_zoo",
+        "samples": len(samples),
+        "fit_repeats": FIT_REPEATS,
+        "predict_grid": PREDICT_GRID,
+        "models": per_model,
+        "ranking": first.ranking,
+        "ranking_deterministic": True,
+    }
+    output_path.parent.mkdir(parents=True, exist_ok=True)
+    output_path.write_text(json.dumps(entry, indent=2) + "\n")
+    return entry
+
+
+def test_models_bench(tmp_path):
+    """Pytest entry: the bench must complete with finite throughputs."""
+    entry = run_models_bench(tmp_path / "BENCH_models.json")
+    for name, stats in entry["models"].items():
+        assert stats["fits_per_sec"] > 0, name
+        assert stats["predict_points_per_sec"] > 0, name
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_models_bench(), indent=2))

@@ -22,6 +22,10 @@ Public API tour
 * :mod:`repro.traffic` — traffic patterns: irregular (alltoallv-style)
   exchanges as registered (n, n) byte-matrix generators, usable across
   measurements, sweeps, scenarios and the CLI.
+* :mod:`repro.models` — the cost-model zoo: pluggable analytical
+  performance models (Hockney, the contention signature, LogGP,
+  max-rate, saturation-knee) behind ``@register_model``, with a
+  fit / cross-validate / compare selection pipeline.
 * :mod:`repro.api` — the facade: declarative :class:`~repro.api.Scenario`
   objects (TOML/JSON/dict), plugin registries and ``register_*``
   decorators for user-defined clusters, topologies, algorithms and
@@ -38,7 +42,7 @@ Quickstart
 True
 """
 
-from . import clusters, core, measure, registry, simmpi, simnet, sweeps, traffic
+from . import clusters, core, measure, models, registry, simmpi, simnet, sweeps, traffic
 from . import exec as exec_  # noqa: F401 - "exec" shadows the builtin name
 from . import api, scenario
 from ._version import __version__
@@ -63,6 +67,7 @@ __all__ = [
     "core",
     "exec",
     "measure",
+    "models",
     "registry",
     "scenario",
     "simmpi",

@@ -1,12 +1,13 @@
-"""CSV persistence for experiment results (figure data files)."""
+"""CSV/JSONL persistence for experiment results (figure data files)."""
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
-__all__ = ["write_csv", "read_csv", "rows_from_series"]
+__all__ = ["write_csv", "read_csv", "read_rows", "coerce_value", "rows_from_series"]
 
 
 def write_csv(
@@ -26,9 +27,97 @@ def write_csv(
 
 
 def read_csv(path: str | Path) -> list[dict[str, str]]:
-    """Read dict rows back (values as strings)."""
+    """Read dict rows back (values as strings).
+
+    Prefer :func:`read_rows` for anything numeric — CSV strings silently
+    break arithmetic (``"2048" * 2`` concatenates).
+    """
     with Path(path).open(newline="") as handle:
         return list(csv.DictReader(handle))
+
+
+def coerce_value(value: str) -> object:
+    """One CSV cell → the most specific of ``None``/int/float/str.
+
+    The inverse of :func:`write_csv`'s stringification for scalar rows:
+    empty cells read back as ``None``, integral text as ``int``, numeric
+    text as ``float``, everything else — including non-string oddities
+    like the spill list ``csv.DictReader`` emits for a row with extra
+    cells — passes through unchanged.
+    """
+    if value is None or value == "":
+        return None
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        pass
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return value
+
+
+def _check_schema_columns(schema, fieldnames: set, rows) -> None:
+    """Reject schema columns absent from a non-empty file (typo guard)."""
+    if not schema or not rows:
+        return
+    unknown = sorted(set(schema) - fieldnames)
+    if unknown:
+        raise ValueError(
+            f"schema column(s) {unknown} not in file; "
+            f"columns: {', '.join(sorted(fieldnames))}"
+        )
+
+
+def read_rows(
+    path: str | Path,
+    *,
+    schema: Mapping[str, Callable[[str], object]] | None = None,
+) -> list[dict[str, object]]:
+    """Read tabular rows back with **typed** values.
+
+    Dispatches on the file extension: ``.jsonl`` parses JSON lines
+    (already typed), anything else reads CSV.  CSV cells are coerced
+    with :func:`coerce_value` (empty → ``None``, numeric text →
+    int/float) so fitting code never does string math; *schema* maps
+    column names to explicit converters, overriding the automatic
+    coercion for those columns (e.g. ``{"seed": str}`` to keep a
+    numeric-looking label textual).  Unknown schema columns are
+    rejected — a typo'd column name must not silently fall back to
+    auto-coercion.
+    """
+    path = Path(path)
+    if path.suffix.lower() == ".jsonl":
+        with path.open() as handle:
+            rows = [json.loads(line) for line in handle if line.strip()]
+        # Heterogeneous lines are legal JSONL: validate against the
+        # union of keys, not just the first row's.
+        _check_schema_columns(
+            schema, {column for row in rows for column in row}, rows
+        )
+        if schema:
+            for row in rows:
+                for column, convert in schema.items():
+                    if column in row and row[column] is not None:
+                        row[column] = convert(row[column])
+        return rows
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        raw = list(reader)
+        # Validate against the header, not a data row: ragged rows add
+        # DictReader's None restkey, which must not leak into messages.
+        header = set(reader.fieldnames or ())
+    _check_schema_columns(schema, header, raw)
+    rows = []
+    for record in raw:
+        row: dict[str, object] = {}
+        for column, value in record.items():
+            if schema and column in schema:
+                row[column] = None if value in (None, "") else schema[column](value)
+            else:
+                row[column] = coerce_value(value)
+        rows.append(row)
+    return rows
 
 
 def rows_from_series(

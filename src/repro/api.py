@@ -29,24 +29,38 @@ from .core.hockney import HockneyParams
 from .exceptions import ScenarioError
 from .measure.backends import get_backend
 from .measure.pipeline import Characterization, characterize_cluster
-from .measure.alltoall import measure_alltoall
+from .measure.alltoall import measure_alltoall, sweep_grid
+from .measure.pingpong import hockney_from_pingpong, measure_pingpong
+from .models import (
+    DEFAULT_MODELS,
+    FittedModel,
+    ModelComparison,
+    compare_models,
+    get_model,
+)
 from .registry import (
     ALGORITHMS,
     BACKENDS,
     CLUSTERS,
     EXECUTORS,
+    MODELS,
     PATTERNS,
     TOPOLOGIES,
     register_algorithm,
     register_backend,
     register_cluster,
     register_executor,
+    register_model,
     register_pattern,
     register_topology,
 )
 from .scenario import ScenarioSpec, TopologySpec, WorkloadSpec, load_scenario
 from .simmpi.collectives import ALLTOALLV_VARIANTS
 from .traffic import PatternSpec, as_pattern
+
+#: Inverse of :data:`ALLTOALLV_VARIANTS`: matrix variant → scalar name
+#: (signature/model fits always measure the regular All-to-All).
+_SCALAR_OF_VARIANT = {v: k for k, v in ALLTOALLV_VARIANTS.items()}
 
 __all__ = [
     "Scenario",
@@ -64,18 +78,24 @@ __all__ = [
     "list_backends",
     "list_patterns",
     "list_executors",
+    "list_models",
+    "get_model",
+    "FittedModel",
+    "ModelComparison",
     "register_topology",
     "register_cluster",
     "register_algorithm",
     "register_backend",
     "register_pattern",
     "register_executor",
+    "register_model",
     "TOPOLOGIES",
     "CLUSTERS",
     "ALGORITHMS",
     "BACKENDS",
     "PATTERNS",
     "EXECUTORS",
+    "MODELS",
 ]
 
 
@@ -109,6 +129,11 @@ def list_executors() -> list[str]:
     return EXECUTORS.names()
 
 
+def list_models() -> list[str]:
+    """Canonical names of all registered cost models."""
+    return MODELS.names()
+
+
 class Scenario:
     """A :class:`~repro.scenario.ScenarioSpec` bound to the pipeline.
 
@@ -122,6 +147,9 @@ class Scenario:
         self.spec = spec
         self._profile: ClusterProfile | None = None
         self._characterization: Characterization | None = None
+        self._hockney = None
+        self._hockney_reps: int | None = None
+        self._grid_samples: list[AlltoallSample] | None = None
 
     # -- constructors ---------------------------------------------------
 
@@ -247,7 +275,6 @@ class Scenario:
             return self._characterization
         workload = self.spec.workload
         custom = bool(kwargs)
-        scalar_of = {v: k for k, v in ALLTOALLV_VARIANTS.items()}
         ch = characterize_cluster(
             self.profile,
             sample_nprocs=kwargs.pop("sample_nprocs", workload.fit_nprocs),
@@ -256,7 +283,7 @@ class Scenario:
             seed=kwargs.pop("seed", workload.seeds[0]),
             algorithm=kwargs.pop(
                 "algorithm",
-                scalar_of.get(self.spec.algorithm, self.spec.algorithm),
+                _SCALAR_OF_VARIANT.get(self.spec.algorithm, self.spec.algorithm),
             ),
             runner=runner,
             scenario=self.spec,
@@ -271,6 +298,133 @@ class Scenario:
     def predictor(self, *, runner=None) -> AlltoallPredictor:
         """Predictor backed by the fitted signature."""
         return self.fit_signature(runner=runner).predictor
+
+    # -- cost-model zoo -------------------------------------------------
+
+    def hockney(self, *, pingpong_reps: int = 3) -> HockneyParams:
+        """Ping-pong Hockney α/β for this fabric (measured once, cached).
+
+        The cache is keyed on *pingpong_reps*: asking for a different
+        repetition count re-measures instead of silently returning a fit
+        taken under other settings.
+        """
+        if self._hockney is None or self._hockney_reps != pingpong_reps:
+            pingpong = measure_pingpong(
+                self.profile, reps=pingpong_reps, seed=self.spec.workload.seeds[0]
+            )
+            self._hockney = hockney_from_pingpong(pingpong).params
+            self._hockney_reps = pingpong_reps
+        return self._hockney
+
+    def grid_samples(self, *, runner=None, progress=None) -> list[AlltoallSample]:
+        """The workload grid as measured samples (cached on the instance).
+
+        Unlike :meth:`fit_signature` (the paper's single-n′ procedure)
+        this sweeps the *full* nprocs × sizes grid — what multi-n models
+        (LogGP, max-rate, knee) need to identify their parameters.  Like
+        the signature fit it measures the regular All-to-All: matrix
+        algorithms lower to their scalar variant and any workload
+        pattern is ignored (cost models predict the regular exchange).
+        """
+        if self._grid_samples is None:
+            workload = self.spec.workload
+            self._grid_samples = sweep_grid(
+                self.profile,
+                workload.nprocs,
+                workload.sizes,
+                reps=workload.reps,
+                seed=workload.seeds[0],
+                algorithm=_SCALAR_OF_VARIANT.get(
+                    self.spec.algorithm, self.spec.algorithm
+                ),
+                runner=runner,
+                scenario=self.spec,
+                progress=progress,
+            )
+        return self._grid_samples
+
+    def fit_model(
+        self,
+        model: str | None = None,
+        *,
+        runner=None,
+        samples=None,
+        **options,
+    ) -> FittedModel:
+        """Fit one registered cost model on this scenario's grid samples.
+
+        *model* defaults to the scenario's ``model`` field (the paper's
+        ``signature`` unless the file says otherwise).  *samples*
+        substitutes externally-measured rows (e.g. loaded from a sweep
+        CSV via :func:`repro.models.samples_from_rows`) for the
+        simulated grid; such offline fits only run the simulated
+        ping-pong when the model declares
+        :attr:`~repro.models.CostModel.requires_hockney` — a LogGP or
+        max-rate fit from a CSV stays simulation-free (and a
+        context-free Hockney fit regresses α/β from the rows).  Extra
+        keyword arguments pass through to the model's ``fit``
+        (``delta_mode=...``, ``threshold=...``, …).
+        """
+        name = model if model is not None else self.spec.model
+        fit_model = get_model(name)
+        external = samples is not None
+        if samples is None:
+            samples = self.grid_samples(runner=runner)
+        # Offline fits of context-free models get NO hockney context —
+        # not even a previously-cached one — so the result depends only
+        # on the rows, never on what this instance measured earlier.
+        hockney = (
+            self.hockney()
+            if not external or fit_model.requires_hockney
+            else None
+        )
+        return fit_model.fit(
+            samples, hockney=hockney, cluster=self.profile, **options
+        )
+
+    def compare_models(
+        self,
+        models=None,
+        *,
+        runner=None,
+        samples=None,
+        k: int = 4,
+        **options,
+    ) -> ModelComparison:
+        """Fit a set of models on the same samples and rank them.
+
+        Defaults to every built-in model on the scenario's grid samples,
+        scored by in-sample RMSE/MAPE plus k-fold and leave-one-n-out
+        cross-validation — the repo's operationalisation of "the
+        contention signature beats contention-blind models".  As in
+        :meth:`fit_model`, offline comparisons (*samples* given) only
+        run the simulated ping-pong when some compared model requires
+        the Hockney context.
+        """
+        # Resolve model names first: a typo must fail before the grid
+        # is measured, not after minutes of simulation.
+        names = models if models is not None else DEFAULT_MODELS
+        resolved = [get_model(m) for m in names]
+        external = samples is not None
+        if samples is None:
+            samples = self.grid_samples(runner=runner)
+        # As in fit_model: an all-context-free offline comparison never
+        # sees a cached ping-pong fit (order-independence).
+        hockney = (
+            self.hockney()
+            if not external or any(m.requires_hockney for m in resolved)
+            else None
+        )
+        comparison = compare_models(
+            samples,
+            names,
+            hockney=hockney,
+            cluster=self.profile,
+            k=k,
+            options=options or None,
+        )
+        comparison.cluster = self.name
+        return comparison
 
     def predict(
         self,

@@ -82,6 +82,10 @@ _LIST_SECTIONS = {
         (name, _doc_summary(api.EXECUTORS.get(name)))
         for name in api.list_executors()
     ],
+    "models": lambda: [
+        (name, _doc_summary(api.MODELS.get(name)))
+        for name in api.list_models()
+    ],
 }
 
 
@@ -332,6 +336,195 @@ def _csv_list(text: str) -> list[str]:
     return [item.strip() for item in text.split(",") if item.strip()]
 
 
+def _model_scenario(args) -> "api.Scenario | None":
+    """The fit/compare-models target: a cluster name or scenario file.
+
+    Workload override flags (``--nprocs``/``--sizes``/``--reps``/
+    ``--seed``) apply to plain cluster names only; scenario files bring
+    their own grid.  Prints a clean error and returns ``None`` on any
+    lookup/validation failure.
+    """
+    overrides = {}
+    try:
+        if args.nprocs:
+            overrides["nprocs"] = tuple(int(n) for n in _csv_list(args.nprocs))
+        if args.sizes:
+            overrides["sizes"] = tuple(
+                parse_size(s) for s in _csv_list(args.sizes)
+            )
+    except ValueError as exc:
+        print(f"invalid workload flags: {exc}", file=sys.stderr)
+        return None
+    if args.reps is not None:
+        overrides["reps"] = args.reps
+    if args.seed is not None:
+        overrides["seeds"] = (args.seed,)
+    if args.cluster.endswith((".toml", ".json")):
+        if overrides:
+            given = ", ".join(
+                f"--{f}" for f in ("nprocs", "sizes", "reps", "seed")
+                if getattr(args, f) is not None
+            )
+            print(
+                f"a scenario file brings its own workload grid; drop {given}",
+                file=sys.stderr,
+            )
+            return None
+        return _load_scenario(args.cluster)
+    try:
+        return api.Scenario.from_name(args.cluster, **overrides)
+    except (UnknownNameError, ScenarioError) as exc:
+        print(exc, file=sys.stderr)
+        return None
+
+
+def _model_samples(args, scenario):
+    """Samples for fit/compare: ``--from-rows FILE`` or ``None`` (sweep).
+
+    Rows labelled with a different cluster are dropped (multi-cluster
+    sweep files work, and a sweep file measured on another fabric —
+    sink files always carry the cluster column — cannot silently fit
+    under this target's ping-pong/topology context; unlabelled
+    hand-rolled rows are trusted as-is).  Returns
+    ``(samples, error_exit_code)``; samples stay ``None`` when the
+    scenario should measure its own grid.
+    """
+    if not args.from_rows:
+        return None, None
+    from .analysis.io import read_rows
+    from .models import samples_from_rows
+
+    try:
+        rows = read_rows(args.from_rows)
+        samples = samples_from_rows(rows, cluster=scenario.name)
+    except OSError as exc:
+        print(exc, file=sys.stderr)
+        return None, 2
+    except (FittingError, ValueError) as exc:
+        print(f"cannot load samples from {args.from_rows}: {exc}", file=sys.stderr)
+        return None, 2
+    if not samples:
+        print(
+            f"{args.from_rows} holds no usable uniform-pattern rows for "
+            f"cluster {scenario.name!r}",
+            file=sys.stderr,
+        )
+        return None, 1
+    return samples, None
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    scenario = _model_scenario(args)
+    if scenario is None:
+        return 2
+    samples, code = _model_samples(args, scenario)
+    if code is not None:
+        return code
+    from .models import get_model, score_fit
+
+    name = args.model or scenario.spec.model
+    try:
+        model = get_model(name)
+    except UnknownNameError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(f"scenario  : {scenario.describe()}")
+    print(f"model     : {model.name}")
+    try:
+        fitted = scenario.fit_model(model.name, samples=samples)
+        used = samples if samples is not None else scenario.grid_samples()
+        score = score_fit(fitted, used)
+    except (FittingError, MeasurementError, ScenarioError) as exc:
+        print(f"cannot fit {model.name}: {exc}", file=sys.stderr)
+        return 1
+    schema = {spec.name: spec for spec in model.param_schema}
+    width = max(len(n) for n in schema)
+    for pname, value in sorted(fitted.params.items()):
+        spec = schema[pname]
+        shown = f"{value:.6g}" if isinstance(value, float) else str(value)
+        unit = f" {spec.unit}" if spec.unit else ""
+        print(f"  {pname:<{width}} = {shown}{unit:<5} {spec.description}")
+    print(
+        f"in-sample : mape={score.mape:.2f}% rmse={format_time(score.rmse)} "
+        f"over {score.n_samples} samples"
+    )
+    return 0
+
+
+def _cmd_compare_models(args: argparse.Namespace) -> int:
+    scenario = _model_scenario(args)
+    if scenario is None:
+        return 2
+    samples, code = _model_samples(args, scenario)
+    if code is not None:
+        return code
+    models = _csv_list(args.models) if args.models else None
+    print(f"scenario  : {scenario.describe()}")
+    try:
+        comparison = scenario.compare_models(
+            models, samples=samples, k=args.k
+        )
+    except UnknownNameError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except (FittingError, MeasurementError, ScenarioError) as exc:
+        print(f"cannot compare models: {exc}", file=sys.stderr)
+        return 1
+    print(comparison.render())
+    if not any(r.ok for r in comparison.reports):
+        # The table above shows each model's reason; a comparison that
+        # produced zero fits is a failure, not a ranking.
+        print("no model could be fitted on these samples", file=sys.stderr)
+        return 1
+    if comparison.reports and comparison.reports[0].ok:
+        best = comparison.reports[0]
+        print(
+            f"best      : {best.model} ({comparison.ranked_by} "
+            f"{comparison.rank_metric_of(best):.2f}% over "
+            f"{comparison.n_samples} samples)"
+        )
+    if args.json:
+        import json as _json
+        from pathlib import Path
+
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(_json.dumps(comparison.to_dict(), indent=2) + "\n")
+        print(f"json      : {path}")
+    return 0
+
+
+def _scenario_sweep_models(args, scenario, result) -> int:
+    """``sweep --scenario FILE --models ...``: compare on the sweep's
+    samples under the scenario's own profile/ping-pong context."""
+    samples = [
+        r.sample for r in result.results
+        if r.ok and r.point.pattern is None
+    ]
+    if not samples:
+        print(
+            "model comparison skipped: no successful uniform-pattern "
+            "points (the zoo models predict the regular All-to-All)",
+            file=sys.stderr,
+        )
+        return 0
+    try:
+        comparison = scenario.compare_models(
+            tuple(_csv_list(args.models)), samples=samples
+        )
+    except UnknownNameError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except (FittingError, MeasurementError, ScenarioError) as exc:
+        # e.g. the post-sweep ping-pong context measurement failing —
+        # the sweep itself already succeeded and streamed/cached.
+        print(f"model comparison failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"\nmodel comparison — {scenario.name}:")
+    print(comparison.render())
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .sweeps import ResultCache, SweepRunner, SweepSpec, default_cache_dir
 
@@ -352,6 +545,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     progress = _progress_printer() if args.progress else None
 
+    # --models is absent here on purpose: it is a post-processing hook,
+    # not a grid axis, so it composes with --scenario sweeps too.
     axis_flags = (
         "clusters", "nprocs", "sizes", "algorithms", "pattern",
         "seeds", "reps",
@@ -376,6 +571,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"workers   : {runner.workers} ({runner.executor_name} executor)")
         print(f"cache     : {cache.root if cache is not None else 'disabled'}")
         _print_sweep_summary(result, streamed=streamed)
+        if args.models:
+            code = _scenario_sweep_models(args, scenario, result)
+            if code:
+                return code
         return 1 if result.n_failed else 0
 
     try:
@@ -393,6 +592,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ),
             seeds=tuple(int(s) for s in _csv_list(args.seeds or "0")),
             reps=args.reps if args.reps is not None else 1,
+            models=tuple(_csv_list(args.models)) if args.models else (),
         )
     except ValueError as exc:
         print(f"invalid sweep spec: {exc}", file=sys.stderr)
@@ -402,6 +602,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
         return 2
+    except FittingError as exc:
+        # The post-sweep model comparison failed; the points themselves
+        # are already cached/streamed.
+        print(f"model comparison failed: {exc}", file=sys.stderr)
+        return 1
     except (MeasurementError, ScenarioError) as exc:
         # e.g. a pattern whose matrix degenerates at some grid point
         # (shift:offset=n) — report cleanly, not as a traceback.
@@ -412,6 +617,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"workers   : {runner.workers} ({runner.executor_name} executor)")
     print(f"cache     : {cache.root if cache is not None else 'disabled'}")
     _print_sweep_summary(result, streamed=streamed)
+    if spec.models and not result.comparisons:
+        print(
+            "model comparison skipped: no successful uniform-pattern "
+            "points (the zoo models predict the regular All-to-All)",
+            file=sys.stderr,
+        )
+    for cluster_name, comparison in sorted((result.comparisons or {}).items()):
+        print(f"\nmodel comparison — {cluster_name}:")
+        print(comparison.render())
     if not sinks:
         slowest = sorted(
             (r for r in result.results if r.ok),
@@ -474,6 +688,63 @@ def build_parser() -> argparse.ArgumentParser:
     p_char.add_argument("--seed", type=int, default=None)
     p_char.set_defaults(func=_cmd_characterize)
 
+    def _add_model_workload_flags(p) -> None:
+        """Shared fit/compare-models target + workload-override flags."""
+        p.add_argument(
+            "cluster",
+            help="registered cluster name (alias-tolerant) or scenario file",
+        )
+        p.add_argument(
+            "--nprocs", default=None,
+            help="comma-separated process counts for the fit grid "
+                 "(cluster names only; default: 4,8)",
+        )
+        p.add_argument(
+            "--sizes", default=None,
+            help="comma-separated message sizes, bytes or strings like "
+                 "256kB (cluster names only)",
+        )
+        p.add_argument("--reps", type=int, default=None,
+                       help="repetitions per grid point")
+        p.add_argument("--seed", type=int, default=None)
+        p.add_argument(
+            "--from-rows", default=None, metavar="FILE",
+            help="fit on rows from a sweep CSV/JSONL file instead of "
+                 "measuring the grid (typed via analysis.io.read_rows)",
+        )
+
+    p_fit = sub.add_parser(
+        "fit", help="fit one cost model on a cluster or scenario grid"
+    )
+    _add_model_workload_flags(p_fit)
+    p_fit.add_argument(
+        "--model", default=None, metavar="NAME",
+        help="registered cost model (default: the scenario's model field, "
+             "i.e. the paper's contention signature; see `list models`)",
+    )
+    p_fit.set_defaults(func=_cmd_fit)
+
+    p_cmp = sub.add_parser(
+        "compare-models",
+        help="fit several cost models on the same samples and rank them "
+             "by cross-validated error",
+    )
+    _add_model_workload_flags(p_cmp)
+    p_cmp.add_argument(
+        "--models", default=None,
+        help="comma-separated model names (default: every registered "
+             "built-in; see `list models`)",
+    )
+    p_cmp.add_argument(
+        "--k", type=int, default=4,
+        help="cross-validation fold count (default: 4)",
+    )
+    p_cmp.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="save the comparison report as JSON",
+    )
+    p_cmp.set_defaults(func=_cmd_compare_models)
+
     p_pred = sub.add_parser(
         "predict", help="predict an All-to-All time from paper signatures"
     )
@@ -522,6 +793,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--reps", type=int, default=None,
                          help="repetitions per point (default: 1)")
+    p_sweep.add_argument(
+        "--models", default=None,
+        help="comma-separated cost-model names to fit per cluster on the "
+             "finished sweep (post-processing, never an axis; composes "
+             "with --scenario; see `list models`)",
+    )
     p_sweep.add_argument(
         "--workers", type=int, default=1, help="worker process count"
     )

@@ -42,6 +42,25 @@ class HockneyParams:
         """Asymptotic link bandwidth in bytes/second (1/β)."""
         return 1.0 / self.beta
 
+    def to_dict(self) -> dict:
+        """Plain-JSON form (lossless; see :meth:`from_dict`)."""
+        return {"alpha": self.alpha, "beta": self.beta}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HockneyParams":
+        """Rebuild from :meth:`to_dict` output (bit-exact round-trip)."""
+        if not isinstance(data, dict):
+            raise ValueError("HockneyParams.from_dict needs a dict")
+        unknown = sorted(set(data) - {"alpha", "beta"})
+        if unknown:
+            raise ValueError(
+                f"unknown HockneyParams field(s) {unknown}; known: alpha, beta"
+            )
+        try:
+            return cls(alpha=float(data["alpha"]), beta=float(data["beta"]))
+        except KeyError as exc:
+            raise ValueError(f"HockneyParams dict is missing {exc.args[0]!r}") from None
+
     def __str__(self) -> str:
         return (
             f"Hockney(alpha={self.alpha * 1e6:.2f} us, "

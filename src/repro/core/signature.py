@@ -129,6 +129,41 @@ class ContentionSignature:
         """The §5 combined (Claim 3) bound for an arbitrary exchange."""
         return combined_lower_bound(med, self.hockney)
 
+    def to_dict(self) -> dict:
+        """Plain-JSON form (lossless; see :meth:`from_dict`)."""
+        return {
+            "gamma": self.gamma,
+            "delta": self.delta,
+            "threshold": self.threshold,
+            "delta_mode": self.delta_mode,
+            "hockney": self.hockney.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ContentionSignature":
+        """Rebuild from :meth:`to_dict` output (bit-exact round-trip)."""
+        if not isinstance(data, dict):
+            raise ValueError("ContentionSignature.from_dict needs a dict")
+        known = {"gamma", "delta", "threshold", "delta_mode", "hockney"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown ContentionSignature field(s) {unknown}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        try:
+            return cls(
+                gamma=float(data["gamma"]),
+                delta=float(data["delta"]),
+                threshold=int(data["threshold"]),
+                hockney=HockneyParams.from_dict(data["hockney"]),
+                delta_mode=str(data.get("delta_mode", "per_round")),
+            )
+        except KeyError as exc:
+            raise ValueError(
+                f"ContentionSignature dict is missing {exc.args[0]!r}"
+            ) from None
+
     def __str__(self) -> str:
         delta_ms = self.delta * 1e3
         return (

@@ -24,6 +24,7 @@ from . import (
     fig12_myrinet_fit,
     fig13_myrinet_surface,
     fig14_myrinet_error,
+    table_model_shootout,
     table_signatures,
 )
 
@@ -112,6 +113,12 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "tableS", "§8 parameters",
             "fitted signatures vs paper values, all three networks",
             table_signatures.run,
+        ),
+        ExperimentSpec(
+            "tableM", "§8 claim",
+            "cost-model shootout: Hockney vs contention-signature error "
+            "gap, all three networks",
+            table_model_shootout.run,
         ),
     ]
 }

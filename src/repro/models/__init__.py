@@ -1,0 +1,67 @@
+"""Cost-model zoo: pluggable performance models with fit / compare.
+
+The paper's contention signature is one member of a family of
+analytical All-to-All cost models.  This package makes the family a
+plugin axis (:data:`repro.registry.MODELS`, ``@register_model``):
+
+>>> from repro.models import get_model
+>>> model = get_model("hockney")
+>>> sorted(p.name for p in model.param_schema)
+['alpha', 'beta']
+
+Built-ins: ``hockney`` (the contention-blind eq.-1 baseline),
+``signature`` (the paper's §7 model, a bit-identical port of
+:func:`repro.core.fit_signature`), ``loggp``, ``max-rate`` (Bienz
+et al.'s bottleneck model, fed by topology link capacities) and
+``knee`` (the §9 saturation-ramp signature).
+
+:mod:`repro.models.selection` fits any set of them on one sample set
+and ranks them by cross-validated error — see
+``repro-alltoall compare-models`` and :meth:`repro.api.Scenario.compare_models`.
+"""
+
+from .base import CostModel, FittedModel, ParamSpec, get_model, list_models
+from .builtins import (
+    DEFAULT_MODELS,
+    HockneyModel,
+    KneeModel,
+    LogGPModel,
+    MaxRateModel,
+    SignatureModel,
+    fabric_rates,
+)
+from .selection import (
+    ModelComparison,
+    ModelReport,
+    ModelScore,
+    compare_for_sweep,
+    compare_models,
+    kfold_errors,
+    leave_one_n_out_errors,
+    samples_from_rows,
+    score_fit,
+)
+
+__all__ = [
+    "CostModel",
+    "FittedModel",
+    "ParamSpec",
+    "get_model",
+    "list_models",
+    "DEFAULT_MODELS",
+    "HockneyModel",
+    "SignatureModel",
+    "LogGPModel",
+    "MaxRateModel",
+    "KneeModel",
+    "fabric_rates",
+    "ModelComparison",
+    "ModelReport",
+    "ModelScore",
+    "compare_models",
+    "compare_for_sweep",
+    "kfold_errors",
+    "leave_one_n_out_errors",
+    "samples_from_rows",
+    "score_fit",
+]

@@ -45,12 +45,14 @@ __all__ = [
     "BACKENDS",
     "PATTERNS",
     "EXECUTORS",
+    "MODELS",
     "register_topology",
     "register_cluster",
     "register_algorithm",
     "register_backend",
     "register_pattern",
     "register_executor",
+    "register_model",
 ]
 
 T = TypeVar("T")
@@ -245,6 +247,10 @@ PATTERNS: Registry[Callable] = Registry("pattern")
 #: sweep engine (see :mod:`repro.exec`).
 EXECUTORS: Registry[Callable] = Registry("executor")
 
+#: ``CostModel`` classes — analytical performance models with a
+#: ``fit(samples) -> FittedModel`` pipeline (see :mod:`repro.models`).
+MODELS: Registry[Callable] = Registry("model")
+
 
 def register_topology(name: str, *, aliases: tuple[str, ...] = (), replace: bool = False):
     """Decorator: register a topology factory ``f(n_hosts, **params)``."""
@@ -275,3 +281,8 @@ def register_pattern(name: str, *, aliases: tuple[str, ...] = (), replace: bool 
 def register_executor(name: str, *, aliases: tuple[str, ...] = (), replace: bool = False):
     """Decorator: register an executor factory ``f(workers) -> Executor``."""
     return EXECUTORS.register(name, aliases=aliases, replace=replace)
+
+
+def register_model(name: str, *, aliases: tuple[str, ...] = (), replace: bool = False):
+    """Decorator: register a :class:`~repro.models.CostModel` class."""
+    return MODELS.register(name, aliases=aliases, replace=replace)

@@ -35,10 +35,12 @@ import json
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
+from . import models as _models  # noqa: F401 - registers the built-in cost models
 from .clusters.profiles import ClusterProfile, get_cluster
 from .exceptions import ScenarioError, UnknownNameError
 from .registry import (
     ALGORITHMS,
+    MODELS,
     PATTERNS,
     TOPOLOGIES,
     CLUSTERS as _CLUSTER_REGISTRY,
@@ -218,6 +220,10 @@ class ScenarioSpec:
         Profile-level overrides (``None`` inherits).
     algorithm:
         Registered All-to-All algorithm the workload runs.
+    model:
+        Registered cost model (:data:`repro.registry.MODELS`) that
+        :meth:`repro.api.Scenario.fit_model` fits by default
+        (``signature`` — the paper's pipeline — when unset).
     workload:
         The measurement grid (see :class:`WorkloadSpec`).
     """
@@ -232,6 +238,7 @@ class ScenarioSpec:
     start_skew_scale: float | None = None
     max_hosts: int | None = None
     algorithm: str = "direct"
+    model: str = "signature"
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
 
     def __post_init__(self) -> None:
@@ -260,6 +267,12 @@ class ScenarioSpec:
         object.__setattr__(
             self, "algorithm", ALGORITHMS.canonical(self.algorithm)
         )
+        if self.model not in MODELS:
+            raise ScenarioError(
+                f"unknown model {self.model!r}; "
+                f"known: {', '.join(MODELS.names())}"
+            )
+        object.__setattr__(self, "model", MODELS.canonical(self.model))
         try:
             variant_for(
                 self.algorithm, irregular=self.workload.pattern is not None
@@ -368,6 +381,8 @@ class ScenarioSpec:
         if self.max_hosts is not None:
             out["max_hosts"] = self.max_hosts
         out["algorithm"] = self.algorithm
+        if self.model != "signature":
+            out["model"] = self.model
         out["workload"] = self.workload.to_dict()
         return out
 

@@ -144,6 +144,10 @@ class SweepResult:
     elapsed: float
     workers: int
     spec: SweepSpec | None = field(default=None, repr=False)
+    #: Per-cluster cost-model comparisons (populated by :meth:`SweepRunner.run`
+    #: when the spec carries a ``models`` hook, or on demand by
+    #: :meth:`compare_models`).
+    comparisons: dict | None = field(default=None, repr=False)
 
     @property
     def samples(self) -> list[AlltoallSample]:
@@ -192,6 +196,31 @@ class SweepResult:
             for row in rows:
                 handle.write(json.dumps(row) + "\n")
         return path
+
+    def compare_models(
+        self, models=None, *, k: int = 4, seed: int | None = None
+    ) -> dict:
+        """Fit cost models per cluster on this sweep's samples, ranked.
+
+        *models* defaults to the spec's ``models`` hook, else the full
+        built-in zoo; *seed* (for the ping-pong context measurement)
+        defaults to the spec's smallest seed, so calling this after the
+        fact reproduces exactly what ``run()`` attached.  The
+        comparisons are cached on :attr:`comparisons` and returned
+        (``{cluster: ModelComparison}``).
+        """
+        from ..models.builtins import DEFAULT_MODELS
+        from ..models.selection import compare_for_sweep
+
+        if models is None:
+            models = (
+                self.spec.models if self.spec is not None and self.spec.models
+                else DEFAULT_MODELS
+            )
+        if seed is None:
+            seed = min(self.spec.seeds) if self.spec is not None else 0
+        self.comparisons = compare_for_sweep(self, models, k=k, seed=seed)
+        return self.comparisons
 
 
 class SweepRunner:
@@ -279,9 +308,17 @@ class SweepRunner:
         sinks: tuple[ResultSink, ...] = (),
         progress=None,
     ) -> SweepResult:
-        """Resolve every point of *spec* (cache hits + fresh simulations)."""
+        """Resolve every point of *spec* (cache hits + fresh simulations).
+
+        When the spec carries a ``models`` post-processing hook, the
+        registered cost models are fitted per cluster on the finished
+        sweep's samples and the ranked comparisons attached to
+        :attr:`SweepResult.comparisons`.
+        """
         result = self.run_points(spec.points(), sinks=sinks, progress=progress)
         result.spec = spec
+        if spec.models:
+            result.compare_models(spec.models)
         return result
 
     def run_points(

@@ -22,7 +22,8 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
-from ..registry import ALGORITHMS, CLUSTERS
+from .. import models as _models  # noqa: F401 - registers the built-in cost models
+from ..registry import ALGORITHMS, CLUSTERS, MODELS
 from ..simmpi.collectives import variant_for
 from ..traffic import PatternSpec, as_pattern
 
@@ -93,6 +94,12 @@ class SweepSpec:
         the package docstring).
     reps:
         Repetitions averaged inside each point.
+    models:
+        Optional post-processing hook: cost-model names (entries of
+        :data:`repro.registry.MODELS`) to fit per cluster on the
+        finished sweep's samples.  Not a grid axis — it never affects
+        which points run or their cache keys; the runner attaches the
+        ranked comparisons to ``SweepResult.comparisons``.
     """
 
     clusters: tuple[str, ...]
@@ -102,6 +109,7 @@ class SweepSpec:
     patterns: tuple = (None,)
     seeds: tuple[int, ...] = (0,)
     reps: int = 3
+    models: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         # Cluster/algorithm names resolvable in the registries are
@@ -149,6 +157,18 @@ class SweepSpec:
                 variant_for(algorithm, irregular=pattern is not None)
         if self.reps < 1:
             raise ValueError("reps must be >= 1")
+        unknown_models = [m for m in self.models if m not in MODELS]
+        if unknown_models:
+            known = ", ".join(MODELS.names())
+            raise ValueError(f"unknown models {unknown_models}; known: {known}")
+        # Canonicalise and deduplicate (an alias plus its canonical name
+        # is one model, not a post-sweep comparison failure).
+        canonical_models: list[str] = []
+        for model in self.models:
+            resolved = MODELS.canonical(model)
+            if resolved not in canonical_models:
+                canonical_models.append(resolved)
+        object.__setattr__(self, "models", tuple(canonical_models))
 
     @property
     def n_points(self) -> int:

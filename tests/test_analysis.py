@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.analysis.ascii_plot import line_plot, scatter_plot, surface_table
-from repro.analysis.io import read_csv, rows_from_series, write_csv
+from repro.analysis.io import (
+    coerce_value,
+    read_csv,
+    read_rows,
+    rows_from_series,
+    write_csv,
+)
 
 
 class TestLinePlot:
@@ -68,3 +74,119 @@ class TestCsv:
         assert fieldnames == ["k", "s1", "s2"]
         assert rows[0] == {"k": 1.0, "s1": 10.0, "s2": ""}
         assert rows[1] == {"k": 2.0, "s1": 20.0, "s2": 200.0}
+
+
+class TestTypedRows:
+    ROWS = [
+        {"cluster": "gige", "n_processes": 8, "msg_size": 2048,
+         "mean_time": 0.0125, "std_time": "", "error": ""},
+        {"cluster": "gige", "n_processes": 16, "msg_size": 1048576,
+         "mean_time": 1.5, "std_time": 0.01, "error": "boom"},
+    ]
+    FIELDS = ["cluster", "n_processes", "msg_size", "mean_time",
+              "std_time", "error"]
+
+    def test_coerce_value_specificity(self):
+        assert coerce_value("") is None
+        assert coerce_value(None) is None
+        assert coerce_value("2048") == 2048
+        assert isinstance(coerce_value("2048"), int)
+        assert coerce_value("0.0125") == pytest.approx(0.0125)
+        assert isinstance(coerce_value("0.0125"), float)
+        assert coerce_value("1e-3") == pytest.approx(1e-3)
+        assert coerce_value("direct") == "direct"
+        # Non-string oddities (DictReader's spill list for a row with
+        # extra cells) pass through instead of raising TypeError.
+        assert coerce_value(["3"]) == ["3"]
+
+    def test_read_rows_tolerates_extra_cells(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2,3\n")
+        rows = read_rows(path)
+        assert rows[0]["a"] == 1 and rows[0]["b"] == 2
+        assert rows[0][None] == ["3"]  # spill preserved, no crash
+        # A typo'd schema on a ragged file still reports cleanly (the
+        # restkey must not leak into the header comparison).
+        with pytest.raises(ValueError, match="not in file"):
+            read_rows(path, schema={"bogus": int})
+
+    def test_read_rows_auto_coerces_csv(self, tmp_path):
+        path = write_csv(tmp_path / "rows.csv", self.FIELDS, self.ROWS)
+        rows = read_rows(path)
+        assert rows[0]["n_processes"] == 8
+        assert isinstance(rows[0]["n_processes"], int)
+        assert isinstance(rows[0]["mean_time"], float)
+        assert rows[0]["std_time"] is None  # empty cell, not ""
+        assert rows[0]["cluster"] == "gige"
+        # No string math: doubling a size must be arithmetic.
+        assert rows[0]["msg_size"] * 2 == 4096
+
+    def test_read_rows_vs_read_csv_strings(self, tmp_path):
+        path = write_csv(tmp_path / "rows.csv", self.FIELDS, self.ROWS)
+        legacy = read_csv(path)
+        assert legacy[0]["msg_size"] == "2048"  # the old string trap
+        typed = read_rows(path)
+        assert typed[0]["msg_size"] == 2048
+
+    def test_read_rows_schema_overrides(self, tmp_path):
+        path = write_csv(tmp_path / "rows.csv", self.FIELDS, self.ROWS)
+        rows = read_rows(path, schema={"cluster": str.upper, "n_processes": float})
+        assert rows[0]["cluster"] == "GIGE"
+        assert isinstance(rows[0]["n_processes"], float)
+        # Unlisted columns still auto-coerce.
+        assert isinstance(rows[0]["msg_size"], int)
+
+    def test_read_rows_schema_unknown_column_rejected(self, tmp_path):
+        path = write_csv(tmp_path / "rows.csv", self.FIELDS, self.ROWS)
+        with pytest.raises(ValueError, match="not in file"):
+            read_rows(path, schema={"bogus": int})
+
+    def test_read_rows_jsonl(self, tmp_path):
+        import json
+
+        path = tmp_path / "rows.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(r) for r in self.ROWS) + "\n"
+        )
+        rows = read_rows(path)
+        assert rows[0]["msg_size"] == 2048
+        assert rows[1]["error"] == "boom"
+        converted = read_rows(path, schema={"n_processes": float})
+        assert isinstance(converted[0]["n_processes"], float)
+        # A typo'd schema column is rejected on JSONL too, not silently
+        # ignored.
+        with pytest.raises(ValueError, match="not in file"):
+            read_rows(path, schema={"n_procs": float})
+
+    def test_read_rows_jsonl_heterogeneous_schema_union(self, tmp_path):
+        import json
+
+        # JSONL lines may carry different keys; a schema column present
+        # only in later rows is still legal.
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            json.dumps({"n_processes": 4, "mean_time": 0.01}) + "\n"
+            + json.dumps({"n_processes": 8, "mean_time": 0.02,
+                          "std_time": 0.001}) + "\n"
+        )
+        rows = read_rows(path, schema={"std_time": float})
+        assert "std_time" not in rows[0]
+        assert isinstance(rows[1]["std_time"], float)
+
+    def test_read_rows_feeds_model_fitting(self, tmp_path):
+        # End-to-end satellite check: CSV -> typed rows -> samples -> fit.
+        from repro.exec.sinks import ROW_FIELDS
+        from repro.models import get_model, samples_from_rows
+
+        rows = [
+            {"cluster": "x", "algorithm": "direct", "pattern": "uniform",
+             "n_processes": n, "msg_size": m, "seed": 0, "reps": 1,
+             "mean_time": (n - 1) * (1e-4 + m * 2e-8), "std_time": 0.0,
+             "cached": 0, "error": ""}
+            for n in (4, 8) for m in (2_048, 65_536, 524_288)
+        ]
+        path = write_csv(tmp_path / "sweep.csv", ROW_FIELDS, rows)
+        samples = samples_from_rows(read_rows(path))
+        fitted = get_model("hockney").fit(samples)
+        assert fitted.params["alpha"] == pytest.approx(1e-4, rel=1e-5)
+        assert fitted.params["beta"] == pytest.approx(2e-8, rel=1e-5)

@@ -73,3 +73,48 @@ class TestPredictor:
     def test_hockney_passthrough(self):
         p = AlltoallPredictor(signature=self.SIG)
         assert p.hockney is HOCKNEY
+
+
+class TestPredictorEdgeCases:
+    SIG = ContentionSignature(
+        gamma=4.36, delta=4.9e-3, threshold=8192, hockney=HOCKNEY
+    )
+
+    def test_error_against_empty_samples(self):
+        p = AlltoallPredictor(signature=self.SIG)
+        assert p.error_against([]) == []
+
+    def test_error_against_preserves_sample_order(self):
+        p = AlltoallPredictor(signature=self.SIG)
+        samples = [
+            AlltoallSample(n_processes=n, msg_size=m, mean_time=1e-3)
+            for n, m in ((16, 1_024), (4, 65_536), (8, 2_048))
+        ]
+        pairs = p.error_against(samples)
+        assert [s for s, _ in pairs] == samples
+        for sample, err in pairs:
+            expected = (1e-3 / float(p.predict(sample.n_processes,
+                                               sample.msg_size)) - 1) * 100
+            assert err == pytest.approx(expected)
+
+    def test_error_against_consumes_generators_once(self):
+        p = AlltoallPredictor(signature=self.SIG)
+        gen = (
+            AlltoallSample(n_processes=4, msg_size=m, mean_time=1e-3)
+            for m in (1_024, 8_192)
+        )
+        assert len(p.error_against(gen)) == 2
+
+    def test_error_sign_matches_over_under_prediction(self):
+        p = AlltoallPredictor(signature=self.SIG)
+        slow = AlltoallSample(
+            n_processes=8, msg_size=65_536,
+            mean_time=float(p.predict(8, 65_536)) * 2,
+        )
+        fast = AlltoallSample(
+            n_processes=8, msg_size=65_536,
+            mean_time=float(p.predict(8, 65_536)) / 2,
+        )
+        [(_, err_slow), (_, err_fast)] = p.error_against([slow, fast])
+        assert err_slow == pytest.approx(100.0)
+        assert err_fast == pytest.approx(-50.0)

@@ -9,7 +9,7 @@ from repro.experiments.common import ExperimentResult, resolve_scale
 
 class TestRegistry:
     def test_all_figures_registered(self):
-        expected = {f"fig{i:02d}" for i in range(2, 15)} | {"tableS"}
+        expected = {f"fig{i:02d}" for i in range(2, 15)} | {"tableS", "tableM"}
         assert set(EXPERIMENTS) == expected
 
     def test_unknown_experiment_rejected(self):

@@ -193,3 +193,77 @@ class TestSampleValidation:
         assert sample.variance_of_mean == pytest.approx(0.01)
         single = AlltoallSample(4, 100, 1.0, std_time=0.2, reps=1)
         assert single.variance_of_mean == pytest.approx(0.04)
+
+
+class TestPredictMedEdgeCases:
+    SIG = ContentionSignature(
+        gamma=4.36, delta=4.9e-3, threshold=8192, hockney=HOCKNEY
+    )
+
+    def test_single_process_med_predicts_zero(self):
+        from repro.core.med import MED
+
+        med = MED(1)  # one process, nothing crosses the wire
+        assert self.SIG.predict_med(med) == 0.0
+        assert self.SIG.lower_bound_med(med) == 0.0
+
+    def test_empty_exchange_predicts_zero(self):
+        from repro.core.med import MED
+
+        med = MED(5)  # five processes, no arcs
+        assert self.SIG.predict_med(med) == 0.0
+        assert self.SIG.lower_bound_med(med) == 0.0
+
+    def test_zero_row_and_column_meds(self):
+        from repro.core.med import MED
+
+        # Process 0 sends nothing (zero row); process 2 receives nothing
+        # (zero column).  Bounds follow the remaining bottleneck node.
+        W = [[0, 0, 0], [100_000, 0, 0], [100_000, 0, 0]]
+        med = MED.from_matrix(W)
+        lb = self.SIG.lower_bound_med(med)
+        # Receiver 0 takes 200 kB over two arcs: the in-side dominates.
+        expected = 2 * HOCKNEY.alpha + 200_000 * HOCKNEY.beta
+        assert lb == pytest.approx(expected)
+        assert self.SIG.predict_med(med) >= lb * self.SIG.gamma
+
+    def test_below_threshold_med_has_no_delta(self):
+        from repro.core.med import MED
+
+        small = MED.alltoall(6, self.SIG.threshold - 1)
+        assert self.SIG.predict_med(small) == pytest.approx(
+            self.SIG.lower_bound_med(small) * self.SIG.gamma
+        )
+
+    def test_threshold_counts_per_arc_not_per_total(self):
+        from repro.core.med import MED
+
+        # Two sub-threshold arcs into one node: total bytes exceed M but
+        # no single message does, so delta must not be charged.
+        half = self.SIG.threshold // 2 + 1
+        med = MED(3)
+        med.add_message(0, 2, half)
+        med.add_message(1, 2, half)
+        assert self.SIG.predict_med(med) == pytest.approx(
+            self.SIG.lower_bound_med(med) * self.SIG.gamma
+        )
+
+    def test_global_delta_mode_charges_once(self):
+        from repro.core.med import MED
+
+        sig = ContentionSignature(
+            gamma=2.0, delta=1e-3, threshold=1_024, hockney=HOCKNEY,
+            delta_mode="global",
+        )
+        med = MED.alltoall(8, 4_096)
+        assert sig.predict_med(med) == pytest.approx(
+            sig.lower_bound_med(med) * 2.0 + 1e-3
+        )
+
+    def test_lower_bound_med_matches_prop1_on_uniform(self):
+        from repro.core.med import MED
+
+        med = MED.alltoall(7, 10_000)
+        assert self.SIG.lower_bound_med(med) == pytest.approx(
+            float(self.SIG.lower_bound(7, 10_000))
+        )
