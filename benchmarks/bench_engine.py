@@ -1,0 +1,136 @@
+"""Bench: simulation-engine throughput (fluid vs vector).
+
+Measures the same All-to-All point with both registered engines on a
+lossless Gigabit Ethernet fabric — the configuration where the engines
+are provably equivalent — and writes
+``benchmarks/output/BENCH_engine.json``:
+
+* one leg per (engine, n) with its wall-clock and points/sec;
+* ``speedup`` per n (fluid seconds / vector seconds);
+* ``equivalent`` — the two engines' measured times agree within 1e-6
+  relative on every n both ran.
+
+The fluid engine's event loop is O(flows x epochs) in pure Python, so
+it is only run up to n=64 (n=256 would take tens of minutes); the
+vector engine runs the full ladder, which is the point of the exercise:
+the batched epoch loop is what makes n=256 grids tractable at all.
+
+Runs standalone (``python benchmarks/bench_engine.py``) or under
+pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+from repro.clusters.profiles import get_cluster
+from repro.measure.alltoall import measure_alltoall
+
+OUTPUT_PATH = Path(__file__).parent / "output" / "BENCH_engine.json"
+
+MSG_SIZE = 4_096
+NPROCS = (16, 64, 256)
+#: Largest n the pure-Python fluid loop is asked to simulate here.
+FLUID_MAX_N = 64
+#: Relative tolerance of the cross-engine equivalence check.
+REL_TOL = 1e-6
+#: The acceptance bar: vector must beat fluid by >= 10x at n=64.
+REQUIRED_SPEEDUP_N64 = 10.0
+#: Timing rounds per leg; the minimum is reported (the standard
+#: noise-resistant estimator — shared CI runners jitter badly).  The
+#: fluid n=64 leg costs ~15 s per round, so it gets fewer; the n=256
+#: leg runs once (it is minutes long and has no fluid baseline to race).
+ROUNDS = {"fluid": 2, "vector": 3}
+
+
+def _bench_cluster():
+    """Gigabit Ethernet without the loss overlay (the one fluid-only
+    feature), capped high enough for the n=256 leg (the stock profile
+    models a 216-port fabric).  Jitter and start skew stay on: their
+    desynchronized completions are exactly the workload that makes the
+    fluid event loop expensive, and both engines replay the same RNG
+    streams, so equivalence holds regardless.
+    """
+    cluster = get_cluster("gigabit-ethernet")
+    return cluster.with_overrides(loss=None, max_hosts=1024)
+
+
+def _timed_point(cluster, engine: str, n: int) -> tuple[float, float]:
+    """(best-of-rounds elapsed seconds, measured All-to-All time)."""
+    rounds = 1 if n > FLUID_MAX_N else ROUNDS[engine]
+    best = math.inf
+    sample = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        sample = measure_alltoall(
+            cluster, n, MSG_SIZE, reps=1, seed=0,
+            algorithm="direct", engine=engine,
+        )
+        best = min(best, time.perf_counter() - start)
+    return best, sample.mean_time
+
+
+def run_engine_bench(output_path: Path = OUTPUT_PATH) -> dict:
+    """Run both engines over the n ladder; write and return the entry."""
+    cluster = _bench_cluster()
+    legs: dict[str, dict] = {}
+    speedups: dict[str, float] = {}
+    equivalent = True
+    for n in NPROCS:
+        fluid_s = fluid_t = None
+        if n <= FLUID_MAX_N:
+            fluid_s, fluid_t = _timed_point(cluster, "fluid", n)
+        vector_s, vector_t = _timed_point(cluster, "vector", n)
+        leg: dict[str, object] = {
+            "vector": {
+                "elapsed_s": round(vector_s, 4),
+                "points_per_sec": round(1.0 / vector_s, 3),
+            },
+        }
+        if fluid_s is not None:
+            leg["fluid"] = {
+                "elapsed_s": round(fluid_s, 4),
+                "points_per_sec": round(1.0 / fluid_s, 3),
+            }
+            speedups[str(n)] = round(fluid_s / vector_s, 2)
+            if abs(vector_t - fluid_t) > REL_TOL * abs(fluid_t):
+                equivalent = False
+        legs[str(n)] = leg
+    entry = {
+        "bench": "engine_throughput",
+        "cluster": "gigabit-ethernet (loss=None)",
+        "algorithm": "direct",
+        "msg_size": MSG_SIZE,
+        "nprocs": list(NPROCS),
+        "fluid_max_n": FLUID_MAX_N,
+        "rounds": dict(ROUNDS),
+        "legs": legs,
+        "speedup": speedups,
+        "equivalent": equivalent,
+    }
+    output_path.parent.mkdir(parents=True, exist_ok=True)
+    output_path.write_text(json.dumps(entry, indent=2) + "\n")
+    return entry
+
+
+def test_bench_engine():
+    """Pytest entry: both engines agree and vector clears the 10x bar."""
+    entry = run_engine_bench()
+    assert entry["equivalent"] is True
+    assert entry["speedup"]["64"] >= REQUIRED_SPEEDUP_N64, entry["speedup"]
+    # The n=256 leg exists at all only because of the vector engine.
+    assert entry["legs"]["256"]["vector"]["points_per_sec"] > 0
+    assert json.loads(OUTPUT_PATH.read_text()) == entry
+    print(
+        f"\nengine bench: n=64 fluid "
+        f"{entry['legs']['64']['fluid']['points_per_sec']} pt/s, vector "
+        f"{entry['legs']['64']['vector']['points_per_sec']} pt/s "
+        f"({entry['speedup']['64']}x)"
+    )
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_engine_bench(), indent=2))

@@ -44,7 +44,7 @@ True
 
 from . import clusters, core, measure, models, registry, simmpi, simnet, sweeps, traffic
 from . import exec as exec_  # noqa: F401 - "exec" shadows the builtin name
-from . import api, scenario
+from . import api, engines, scenario
 from ._version import __version__
 from .api import Scenario
 from .scenario import ScenarioSpec, WorkloadSpec
@@ -65,6 +65,7 @@ __all__ = [
     "api",
     "clusters",
     "core",
+    "engines",
     "exec",
     "measure",
     "models",

@@ -42,6 +42,7 @@ from .registry import (
     ALGORITHMS,
     BACKENDS,
     CLUSTERS,
+    ENGINES,
     EXECUTORS,
     MODELS,
     PATTERNS,
@@ -49,6 +50,7 @@ from .registry import (
     register_algorithm,
     register_backend,
     register_cluster,
+    register_engine,
     register_executor,
     register_model,
     register_pattern,
@@ -79,6 +81,7 @@ __all__ = [
     "list_patterns",
     "list_executors",
     "list_models",
+    "list_engines",
     "get_model",
     "FittedModel",
     "ModelComparison",
@@ -89,6 +92,7 @@ __all__ = [
     "register_pattern",
     "register_executor",
     "register_model",
+    "register_engine",
     "TOPOLOGIES",
     "CLUSTERS",
     "ALGORITHMS",
@@ -96,6 +100,7 @@ __all__ = [
     "PATTERNS",
     "EXECUTORS",
     "MODELS",
+    "ENGINES",
 ]
 
 
@@ -132,6 +137,11 @@ def list_executors() -> list[str]:
 def list_models() -> list[str]:
     """Canonical names of all registered cost models."""
     return MODELS.names()
+
+
+def list_engines() -> list[str]:
+    """Canonical names of all registered simulation engines."""
+    return ENGINES.names()
 
 
 class Scenario:
@@ -206,6 +216,7 @@ class Scenario:
         seed: int | None = None,
         algorithm: str | None = None,
         pattern=None,
+        engine: str | None = None,
     ) -> AlltoallSample:
         """Measure one All-to-All point (defaults from the workload)."""
         workload = self.spec.workload
@@ -217,6 +228,7 @@ class Scenario:
             seed=seed if seed is not None else workload.seeds[0],
             algorithm=algorithm if algorithm is not None else self.spec.algorithm,
             pattern=pattern if pattern is not None else workload.pattern,
+            engine=engine if engine is not None else self.spec.engine,
         )
 
     def sweep_points(self):
@@ -233,6 +245,7 @@ class Scenario:
                 seed=seed,
                 reps=workload.reps,
                 pattern=workload.pattern,
+                engine=self.spec.engine,
             )
             for n in workload.nprocs
             for m in workload.sizes
@@ -285,6 +298,7 @@ class Scenario:
                 "algorithm",
                 _SCALAR_OF_VARIANT.get(self.spec.algorithm, self.spec.algorithm),
             ),
+            engine=kwargs.pop("engine", self.spec.engine),
             runner=runner,
             scenario=self.spec,
             **kwargs,
@@ -337,6 +351,7 @@ class Scenario:
                 algorithm=_SCALAR_OF_VARIANT.get(
                     self.spec.algorithm, self.spec.algorithm
                 ),
+                engine=self.spec.engine,
                 runner=runner,
                 scenario=self.spec,
                 progress=progress,

@@ -44,6 +44,7 @@ from .exceptions import (
     FittingError,
     MeasurementError,
     ScenarioError,
+    SimulationError,
     UnknownNameError,
 )
 from .experiments.registry import EXPERIMENTS, run_experiment
@@ -85,6 +86,10 @@ _LIST_SECTIONS = {
     "models": lambda: [
         (name, _doc_summary(api.MODELS.get(name)))
         for name in api.list_models()
+    ],
+    "engines": lambda: [
+        (name, _doc_summary(api.ENGINES.get(name)))
+        for name in api.list_engines()
     ],
 }
 
@@ -135,6 +140,29 @@ def _cmd_list(args: argparse.Namespace) -> int:
         for name, description in rows:
             print(f"  {name:<{width}}  {description}".rstrip())
     return 0
+
+
+def _check_engine(name: "str | None") -> bool:
+    """Validate an ``--engine`` value *before* any simulation starts.
+
+    Downstream layers reject unknown engines too, but from mid-pipeline
+    (a :class:`ValueError` out of the sweep spec, a
+    :class:`MeasurementError` out of the measurement loop); checking here
+    keeps the failure a one-line stderr message with exit code 2, like
+    every other bad-name CLI error.
+    """
+    if name is not None and name not in api.ENGINES:
+        known = ", ".join(api.list_engines())
+        print(f"unknown engine {name!r}; known: {known}", file=sys.stderr)
+        return False
+    return True
+
+
+def _with_engine(scenario: "api.Scenario", engine: str) -> "api.Scenario":
+    """The scenario with its engine field overridden from the CLI."""
+    import dataclasses
+
+    return api.Scenario(dataclasses.replace(scenario.spec, engine=engine))
 
 
 def _resolve_cluster_arg(name: str) -> tuple["api.Scenario", bool]:
@@ -228,11 +256,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if not _check_engine(args.engine):
+        return 2
     if args.scenario:
         return _run_scenario(args)
     if not args.experiment:
         print("run needs an experiment id or --scenario FILE", file=sys.stderr)
         return 2
+    if args.engine:
+        # Experiment drivers thread no engine parameter; setting the
+        # process-wide default (REPRO_SIM_ENGINE) reaches every
+        # measurement they run.
+        import os
+
+        from .engines import ENGINE_ENV
+
+        os.environ[ENGINE_ENV] = api.ENGINES.canonical(args.engine)
     result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
     print(result.render())
     if args.csv:
@@ -246,17 +285,19 @@ def _run_scenario(args: argparse.Namespace) -> int:
     scenario = _load_scenario(args.scenario)
     if scenario is None:
         return 2
+    if args.engine:
+        scenario = _with_engine(scenario, args.engine)
     print(f"scenario  : {scenario.describe()}")
     try:
         result = scenario.sweep()
-    except (MeasurementError, ScenarioError) as exc:
+    except (MeasurementError, ScenarioError, SimulationError) as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 1
     print(f"points    : {result.n_points}")
     _print_sweep_summary(result, csv=args.csv)
     try:
         ch = scenario.fit_signature()
-    except (FittingError, MeasurementError) as exc:
+    except (FittingError, MeasurementError, SimulationError) as exc:
         print(f"cannot fit signature: {exc}", file=sys.stderr)
         return 1
     print(f"hockney   : {ch.hockney_fit.params}")
@@ -265,6 +306,8 @@ def _run_scenario(args: argparse.Namespace) -> int:
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
+    if not _check_engine(args.engine):
+        return 2
     try:
         scenario, from_file = _resolve_cluster_arg(args.cluster)
     except (OSError, UnknownNameError, ScenarioError) as exc:
@@ -273,6 +316,8 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     cluster = scenario.profile
     workload = scenario.spec.workload
     kwargs = {}
+    if args.engine:
+        kwargs["engine"] = args.engine
     if not from_file:
         # Plain cluster names keep the historical CLI defaults (n'=16,
         # the pipeline's 8-size ladder); scenario files bring their own
@@ -292,7 +337,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
             else (workload.seeds[0] if from_file else 0),
             **kwargs,
         )
-    except (FittingError, MeasurementError) as exc:
+    except (FittingError, MeasurementError, SimulationError) as exc:
         print(f"cannot fit signature: {exc}", file=sys.stderr)
         return 1
     hockney = ch.hockney_fit.params
@@ -528,6 +573,8 @@ def _scenario_sweep_models(args, scenario, result) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .sweeps import ResultCache, SweepRunner, SweepSpec, default_cache_dir
 
+    if not _check_engine(args.engine):
+        return 2
     cache = None if args.no_cache else ResultCache(
         args.cache_dir or default_cache_dir()
     )
@@ -562,9 +609,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         scenario = _load_scenario(args.scenario)
         if scenario is None:
             return 2
+        if args.engine:
+            scenario = _with_engine(scenario, args.engine)
         try:
             result = scenario.sweep(runner=runner, sinks=sinks, progress=progress)
-        except (MeasurementError, ScenarioError) as exc:
+        except (MeasurementError, ScenarioError, SimulationError) as exc:
             print(f"sweep failed: {exc}", file=sys.stderr)
             return 1
         print(f"sweep     : {scenario.describe()}")
@@ -593,6 +642,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             seeds=tuple(int(s) for s in _csv_list(args.seeds or "0")),
             reps=args.reps if args.reps is not None else 1,
             models=tuple(_csv_list(args.models)) if args.models else (),
+            engine=args.engine,
         )
     except ValueError as exc:
         print(f"invalid sweep spec: {exc}", file=sys.stderr)
@@ -607,7 +657,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # are already cached/streamed.
         print(f"model comparison failed: {exc}", file=sys.stderr)
         return 1
-    except (MeasurementError, ScenarioError) as exc:
+    except (MeasurementError, ScenarioError, SimulationError) as exc:
         # e.g. a pattern whose matrix degenerates at some grid point
         # (shift:offset=n) — report cleanly, not as a traceback.
         print(f"sweep failed: {exc}", file=sys.stderr)
@@ -674,6 +724,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["smoke", "default", "full"])
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--csv", default=None, help="save data rows to CSV")
+    p_run.add_argument(
+        "--engine", default=None, metavar="NAME",
+        help="simulation engine: fluid (reference, default) or vector "
+             "(batched; see `list engines`)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_char = sub.add_parser(
@@ -686,6 +741,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_char.add_argument("--nprocs", type=int, default=None)
     p_char.add_argument("--reps", type=int, default=None)
     p_char.add_argument("--seed", type=int, default=None)
+    p_char.add_argument(
+        "--engine", default=None, metavar="NAME",
+        help="simulation engine for the All-to-All sweep (the ping-pong "
+             "stays on the reference fluid engine; see `list engines`)",
+    )
     p_char.set_defaults(func=_cmd_characterize)
 
     def _add_model_workload_flags(p) -> None:
@@ -793,6 +853,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--reps", type=int, default=None,
                          help="repetitions per point (default: 1)")
+    p_sweep.add_argument(
+        "--engine", default=None, metavar="NAME",
+        help="simulation engine for every point: fluid (reference, "
+             "default) or vector (batched; composes with --scenario; "
+             "see `list engines`)",
+    )
     p_sweep.add_argument(
         "--models", default=None,
         help="comma-separated cost-model names to fit per cluster on the "

@@ -1,0 +1,97 @@
+"""Simulation engines: pluggable strategies for running one measurement rep.
+
+An *engine* is a callable
+
+    ``engine(cluster, n_processes, program, run_arg, seed) -> RunResult``
+
+that simulates one repetition of a rank program on a cluster profile.
+Engines are registered in :data:`repro.registry.ENGINES` (decorator:
+``@repro.registry.register_engine``), mirroring the cluster / topology /
+executor plugin axes.  Two built-ins ship:
+
+``fluid`` (default)
+    The event-driven reference stack — generator runtime
+    (:mod:`repro.simmpi.runtime`) over the fluid network
+    (:mod:`repro.simnet.fluid`).  This is the correctness oracle; it
+    alone models the TCP loss overlay, and the default keeps every
+    existing cache key bit-identical.
+
+``vector``
+    Lowers the program to a static phase schedule
+    (:mod:`repro.simmpi.lowering`) and executes it with the batched
+    epoch-synchronized simulator (:mod:`repro.simnet.vector`).  Matches
+    ``fluid`` to floating-point roundoff on lossless, jitter-free
+    configurations and is 10–100x faster on large grids; rejects
+    loss-enabled profiles and unlowerable programs.
+
+The process-wide default is ``fluid`` unless the ``REPRO_SIM_ENGINE``
+environment variable names another registered engine (see
+:func:`default_engine`).
+"""
+
+from __future__ import annotations
+
+import os
+
+from .exceptions import UnknownNameError
+from .registry import ENGINES, register_engine
+from .simmpi.lowering import lower_program
+from .simnet.vector import VectorSimulator
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINE_ENV",
+    "default_engine",
+    "run_fluid",
+    "run_vector",
+]
+
+#: Engine used when neither caller nor environment picks one.  Keep at
+#: ``fluid``: cache keys omit the engine when it is the default, so the
+#: default engine defines what historical cache entries mean.
+DEFAULT_ENGINE = "fluid"
+
+#: Environment variable overriding the process-wide default engine.
+ENGINE_ENV = "REPRO_SIM_ENGINE"
+
+
+@register_engine("fluid", aliases=("reference", "event-driven"))
+def run_fluid(cluster, n_processes, program, run_arg, seed):
+    """Reference event-driven engine (generator runtime + fluid network)."""
+    runtime = cluster.runtime(n_processes, seed=seed)
+    return runtime.run(program, run_arg)
+
+
+@register_engine("vector", aliases=("batched",))
+def run_vector(cluster, n_processes, program, run_arg, seed):
+    """Batched engine: lower to a phase schedule, advance flows in epochs."""
+    lowered = lower_program(program, n_processes, run_arg)
+    simulator = VectorSimulator(
+        cluster.topology(n_processes),
+        cluster.transport,
+        nprocs=n_processes,
+        loss_params=cluster.loss,
+        hol_penalty=cluster.hol,
+        start_skew_scale=cluster.start_skew_scale,
+        seed=seed,
+    )
+    return simulator.run(lowered)
+
+
+def default_engine() -> str:
+    """The engine to use when a caller does not pick one.
+
+    ``REPRO_SIM_ENGINE`` overrides the built-in default; a value naming
+    no registered engine raises :class:`~repro.exceptions.UnknownNameError`
+    immediately (matching the ``REPRO_SWEEP_EXECUTOR`` contract) rather
+    than silently measuring with the wrong engine.
+    """
+    raw = os.environ.get(ENGINE_ENV)
+    if raw is not None and raw.strip():
+        if raw not in ENGINES:
+            known = ", ".join(ENGINES.names())
+            raise UnknownNameError(
+                f"{ENGINE_ENV}: unknown engine {raw!r}; known: {known}"
+            )
+        return ENGINES.canonical(raw)
+    return DEFAULT_ENGINE

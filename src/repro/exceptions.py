@@ -7,6 +7,7 @@ __all__ = [
     "SimulationError",
     "DeadlockError",
     "RoutingError",
+    "LoweringError",
     "FittingError",
     "MeasurementError",
     "ExecutionError",
@@ -57,6 +58,15 @@ class DeadlockError(SimulationError):
 
 class RoutingError(SimulationError):
     """No route exists between two hosts in the topology."""
+
+
+class LoweringError(SimulationError):
+    """A rank program cannot be compiled to a static phase schedule.
+
+    Raised by :mod:`repro.simmpi.lowering` for programs whose behaviour
+    depends on runtime state the compiler cannot know (wildcard receives,
+    ``ctx.now``) or whose sends and receives do not pair up statically.
+    """
 
 
 class FittingError(ReproError):

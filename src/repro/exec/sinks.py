@@ -24,6 +24,8 @@ from typing import Callable, Sequence
 
 __all__ = [
     "ROW_FIELDS",
+    "STATS_ROW_FIELDS",
+    "row_fields",
     "ResultSink",
     "CsvSink",
     "JsonlSink",
@@ -36,6 +38,21 @@ ROW_FIELDS = [
     "cluster", "algorithm", "pattern", "n_processes", "msg_size",
     "seed", "reps", "mean_time", "std_time", "cached", "error",
 ]
+
+#: Observability columns appended when ``REPRO_SIM_STATS`` is truthy:
+#: which engine simulated the point and its per-point simulation-effort
+#: counters (summed over reps; empty for cache hits, which carry no
+#: counters).
+STATS_ROW_FIELDS = ["engine", "sim_resolves", "sim_epochs", "sim_events"]
+
+
+def row_fields() -> list[str]:
+    """The active row schema (stats columns appended when enabled)."""
+    from ..simnet.stats import stats_enabled
+
+    if stats_enabled():
+        return ROW_FIELDS + STATS_ROW_FIELDS
+    return list(ROW_FIELDS)
 
 
 class ResultSink:

@@ -121,6 +121,7 @@ def run_task(task: ExecutionTask) -> TaskOutcome:
             seed=point.seed,
             algorithm=point.algorithm,
             pattern=point.pattern,
+            engine=point.engine,
         )
     except Exception as exc:
         return TaskOutcome(

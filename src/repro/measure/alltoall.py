@@ -19,10 +19,12 @@ import numpy as np
 
 from ..clusters.profiles import ClusterProfile
 from ..core.signature import AlltoallSample
+from ..engines import default_engine
 from ..exceptions import MeasurementError, ScenarioError, UnknownNameError
-from ..registry import ALGORITHMS
+from ..registry import ALGORITHMS, ENGINES
 from ..simmpi.collectives import variant_for
 from ..simnet.rng import RngFactory
+from ..simnet.stats import stats_enabled
 from ..traffic import PatternSpec, as_pattern
 
 __all__ = ["measure_alltoall", "sweep_sizes", "sweep_grid"]
@@ -46,6 +48,17 @@ def _resolve_program(algorithm: str, pattern: "PatternSpec | None"):
     return ALGORITHMS.get(resolved), resolved
 
 
+def _resolve_engine(engine: "str | None"):
+    """Canonicalise an engine choice (``None`` → process-wide default)."""
+    try:
+        if engine is None:
+            engine = default_engine()
+        name = ENGINES.canonical(engine)
+        return name, ENGINES.get(name)
+    except UnknownNameError as exc:
+        raise MeasurementError(exc.args[0]) from None
+
+
 def measure_alltoall(
     cluster: ClusterProfile,
     n_processes: int,
@@ -55,6 +68,7 @@ def measure_alltoall(
     seed: int = 0,
     algorithm: str = "direct",
     pattern=None,
+    engine=None,
 ) -> AlltoallSample:
     """Measure one (n, m) All-to-All point; returns the averaged sample.
 
@@ -62,6 +76,14 @@ def measure_alltoall(
     pattern's byte matrix through the matching alltoallv program; the
     matrix itself is derived deterministically from
     ``(pattern, n, msg_size, seed)`` and is identical across reps.
+
+    *engine* picks the simulation engine (an entry of
+    :data:`repro.registry.ENGINES`; ``None`` defers to
+    :func:`repro.engines.default_engine`).  Per-rep RNG seeds are
+    engine-independent, so engines are compared on identical draws.
+    When ``REPRO_SIM_STATS`` is truthy the returned sample carries a
+    ``sim_stats`` attribute (a :class:`~repro.simnet.stats.SimStats`
+    summed over reps).
     """
     if n_processes < 2:
         raise MeasurementError("All-to-All needs at least two processes")
@@ -97,20 +119,31 @@ def measure_alltoall(
         stream_prefix = (
             f"alltoallv/{stream_tag}/{pattern.key()}/{n_processes}/{msg_size}"
         )
+    engine_name, engine_fn = _resolve_engine(engine)
+    collect_stats = stats_enabled()
+    merged_stats = None
     factory = RngFactory(seed)
     times = np.empty(reps)
     for rep in range(reps):
         rep_seed = factory.child(f"{stream_prefix}/{rep}").seed
-        runtime = cluster.runtime(n_processes, seed=rep_seed)
-        result = runtime.run(program, run_arg)
+        result = engine_fn(cluster, n_processes, program, run_arg, rep_seed)
         times[rep] = result.duration
-    return AlltoallSample(
+        if collect_stats and result.stats is not None:
+            merged_stats = (
+                result.stats if merged_stats is None
+                else merged_stats.merged(result.stats)
+            )
+    sample = AlltoallSample(
         n_processes=n_processes,
         msg_size=int(msg_size),
         mean_time=float(times.mean()),
         std_time=float(times.std(ddof=1)) if reps > 1 else 0.0,
         reps=reps,
     )
+    if merged_stats is not None:
+        # Opt-in observability rider; never enters cache payloads.
+        object.__setattr__(sample, "sim_stats", merged_stats)
+    return sample
 
 
 def _run_points(cluster, points, runner, scenario=None, progress=None):
@@ -140,6 +173,7 @@ def sweep_sizes(
     seed: int = 0,
     algorithm: str = "direct",
     pattern=None,
+    engine=None,
     runner=None,
     scenario=None,
     progress=None,
@@ -163,6 +197,7 @@ def sweep_sizes(
                 seed=seed,
                 reps=reps,
                 pattern=pattern,
+                engine=engine,
             )
             for size in sizes
         ]
@@ -181,6 +216,7 @@ def sweep_grid(
     seed: int = 0,
     algorithm: str = "direct",
     pattern=None,
+    engine=None,
     runner=None,
     scenario=None,
     progress=None,
@@ -202,6 +238,7 @@ def sweep_grid(
                 seed=seed,
                 reps=reps,
                 pattern=pattern,
+                engine=engine,
             )
             for n in n_values
             for size in sizes

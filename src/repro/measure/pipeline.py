@@ -57,6 +57,7 @@ def characterize_cluster(
     delta_mode: str = "per_round",
     threshold: int | str = "auto",
     algorithm: str = "direct",
+    engine: str | None = None,
     runner=None,
     scenario=None,
 ) -> Characterization:
@@ -71,6 +72,12 @@ def characterize_cluster(
     repeated characterisations from the result cache.  *scenario* (a
     :class:`~repro.scenario.ScenarioSpec`) is forwarded to the engine so
     scenario-defined clusters key the cache on their full definition.
+
+    *engine* selects the simulation engine for the All-to-All sweep
+    (:data:`repro.registry.ENGINES`; ``None`` defers to the process
+    default).  The ping-pong stays on the reference fluid engine: it is
+    two flows on an otherwise idle fabric — nothing to batch — and
+    keeping it fixed means Hockney α/β never depend on engine choice.
     """
     pingpong = measure_pingpong(
         cluster, reps=pingpong_reps, seed=seed
@@ -83,6 +90,7 @@ def characterize_cluster(
         reps=reps,
         seed=seed,
         algorithm=algorithm,
+        engine=engine,
         runner=runner,
         scenario=scenario,
     )

@@ -46,6 +46,7 @@ __all__ = [
     "PATTERNS",
     "EXECUTORS",
     "MODELS",
+    "ENGINES",
     "register_topology",
     "register_cluster",
     "register_algorithm",
@@ -53,6 +54,7 @@ __all__ = [
     "register_pattern",
     "register_executor",
     "register_model",
+    "register_engine",
 ]
 
 T = TypeVar("T")
@@ -251,6 +253,11 @@ EXECUTORS: Registry[Callable] = Registry("executor")
 #: ``fit(samples) -> FittedModel`` pipeline (see :mod:`repro.models`).
 MODELS: Registry[Callable] = Registry("model")
 
+#: ``f(cluster, n_processes, program, run_arg, seed) -> RunResult``
+#: simulation engines (see :mod:`repro.engines`): how one rep of a
+#: measurement point is actually simulated.
+ENGINES: Registry[Callable] = Registry("engine")
+
 
 def register_topology(name: str, *, aliases: tuple[str, ...] = (), replace: bool = False):
     """Decorator: register a topology factory ``f(n_hosts, **params)``."""
@@ -286,3 +293,9 @@ def register_executor(name: str, *, aliases: tuple[str, ...] = (), replace: bool
 def register_model(name: str, *, aliases: tuple[str, ...] = (), replace: bool = False):
     """Decorator: register a :class:`~repro.models.CostModel` class."""
     return MODELS.register(name, aliases=aliases, replace=replace)
+
+
+def register_engine(name: str, *, aliases: tuple[str, ...] = (), replace: bool = False):
+    """Decorator: register a simulation engine
+    ``f(cluster, n_processes, program, run_arg, seed) -> RunResult``."""
+    return ENGINES.register(name, aliases=aliases, replace=replace)

@@ -37,9 +37,11 @@ from pathlib import Path
 
 from . import models as _models  # noqa: F401 - registers the built-in cost models
 from .clusters.profiles import ClusterProfile, get_cluster
+from .engines import DEFAULT_ENGINE
 from .exceptions import ScenarioError, UnknownNameError
 from .registry import (
     ALGORITHMS,
+    ENGINES,
     MODELS,
     PATTERNS,
     TOPOLOGIES,
@@ -224,6 +226,13 @@ class ScenarioSpec:
         Registered cost model (:data:`repro.registry.MODELS`) that
         :meth:`repro.api.Scenario.fit_model` fits by default
         (``signature`` — the paper's pipeline — when unset).
+    engine:
+        Registered simulation engine (:data:`repro.registry.ENGINES`)
+        the workload is simulated with.  Unset (or the default
+        ``fluid``, to which explicit spellings canonicalise) defers to
+        the process-wide default and is omitted from serialization and
+        cache payloads, so pre-engine scenario files and cache entries
+        keep their meaning.
     workload:
         The measurement grid (see :class:`WorkloadSpec`).
     """
@@ -239,6 +248,7 @@ class ScenarioSpec:
     max_hosts: int | None = None
     algorithm: str = "direct"
     model: str = "signature"
+    engine: str | None = None
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
 
     def __post_init__(self) -> None:
@@ -273,6 +283,18 @@ class ScenarioSpec:
                 f"known: {', '.join(MODELS.names())}"
             )
         object.__setattr__(self, "model", MODELS.canonical(self.model))
+        if self.engine is not None:
+            if self.engine not in ENGINES:
+                raise ScenarioError(
+                    f"unknown engine {self.engine!r}; "
+                    f"known: {', '.join(ENGINES.names())}"
+                )
+            engine = ENGINES.canonical(self.engine)
+            # The default engine collapses to None: one identity, one
+            # serialized form, one cache payload.
+            object.__setattr__(
+                self, "engine", None if engine == DEFAULT_ENGINE else engine
+            )
         try:
             variant_for(
                 self.algorithm, irregular=self.workload.pattern is not None
@@ -383,6 +405,8 @@ class ScenarioSpec:
         out["algorithm"] = self.algorithm
         if self.model != "signature":
             out["model"] = self.model
+        if self.engine is not None:
+            out["engine"] = self.engine
         out["workload"] = self.workload.to_dict()
         return out
 
@@ -505,7 +529,7 @@ class ScenarioSpec:
         this alongside the profile fingerprint guarantees two different
         scenario definitions never share a cache entry.
         """
-        return {
+        payload = {
             "base": self.base,
             "topology": None if self.topology is None else self.topology.to_dict(),
             "transport": dict(self.transport),
@@ -514,6 +538,11 @@ class ScenarioSpec:
             "start_skew_scale": self.start_skew_scale,
             "max_hosts": self.max_hosts,
         }
+        if self.engine is not None:
+            # Added only when non-default: pre-engine payloads (and
+            # their hashes) stay byte-identical.
+            payload["engine"] = self.engine
+        return payload
 
 
 def _cluster_canonical(name: str) -> str:

@@ -14,6 +14,7 @@ from .collectives import (
     alltoallv_direct,
     alltoallv_rounds,
 )
+from .lowering import LoweredMessage, LoweredProgram, Segment, lower_program
 from .request import ANY_SOURCE, ANY_TAG, RecvRequest, Request, SendRequest
 from .runtime import RankContext, RankProgram, RunResult, Runtime
 from .transport import TransportParams
@@ -28,6 +29,10 @@ __all__ = [
     "alltoall_rounds",
     "alltoallv_direct",
     "alltoallv_rounds",
+    "LoweredMessage",
+    "LoweredProgram",
+    "Segment",
+    "lower_program",
     "ANY_SOURCE",
     "ANY_TAG",
     "RecvRequest",

@@ -39,6 +39,7 @@ from ..simnet.loss import LossParams
 from ..simnet.penalty import HolPenalty
 from ..simnet.resources import SerialResource
 from ..simnet.rng import RngFactory
+from ..simnet.stats import SimStats
 from ..simnet.topology import Topology
 from ..simnet.trace import NullTrace, Trace
 from .request import ANY_SOURCE, ANY_TAG, RecvRequest, Request, SendRequest
@@ -130,7 +131,8 @@ class RunResult:
 
     ``duration`` is the paper's completion-time definition: "the
     difference between the start time and the time at which all processes
-    are finished".
+    are finished".  ``stats`` carries the engine's cost counters
+    (:class:`~repro.simnet.stats.SimStats`).
     """
 
     duration: float
@@ -140,6 +142,7 @@ class RunResult:
     total_losses: int
     max_concurrent_flows: int
     trace: Trace = field(repr=False, default_factory=NullTrace)
+    stats: SimStats | None = None
 
 
 class RankContext:
@@ -322,6 +325,12 @@ class Runtime:
             total_losses=self.network.total_losses,
             max_concurrent_flows=self.network.max_concurrent,
             trace=self.trace,
+            stats=SimStats(
+                engine="fluid",
+                resolves=self.network.resolves,
+                epochs=self.network.epochs,
+                events=self.engine.events_processed,
+            ),
         )
 
     def _advance(self, rank: int) -> None:

@@ -12,9 +12,10 @@ from .loss import LossModel, LossParams
 from .penalty import HolPenalty
 from .resources import SerialResource
 from .rng import RngFactory
-from .stats import Summary, summarize
+from .stats import SimStats, Summary, stats_enabled, summarize
 from .topology import Topology, edge_core, single_switch
 from .trace import NullTrace, Trace, TraceRecord
+from .vector import VectorSimulator
 
 __all__ = [
     "Engine",
@@ -34,8 +35,11 @@ __all__ = [
     "HolPenalty",
     "SerialResource",
     "RngFactory",
+    "SimStats",
     "Summary",
+    "stats_enabled",
     "summarize",
+    "VectorSimulator",
     "Topology",
     "edge_core",
     "single_switch",

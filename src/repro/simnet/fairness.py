@@ -1,7 +1,11 @@
 """Vectorised max-min fair bandwidth allocation (progressive filling).
 
-This is the heart of the fluid network model: given the set of active
-flows and the directed links each one crosses, allocate rates such that
+This is the allocation core shared by *both* simulation engines — the
+event-driven fluid reference (:mod:`repro.simnet.fluid`) and the batched
+vector engine (:mod:`repro.simnet.vector`) call the same solve, which is
+what makes their results comparable to floating-point roundoff.  Given
+the set of active flows and the directed links each one crosses, it
+allocates rates such that
 
 * no link's capacity is exceeded,
 * no flow can be given more rate without taking rate away from a flow
@@ -87,21 +91,26 @@ class AllocationResult:
     link_flow_count:
         Number of flows crossing each link.
     link_load:
-        Total allocated rate per link.
+        Total allocated rate per link (``None`` when the solve was asked
+        to skip the summary via ``need_loads=False``).
     saturated:
         Boolean per link: allocated load equals capacity (within
-        tolerance) — these are the bottleneck links.
+        tolerance) — these are the bottleneck links (``None`` when
+        skipped, as above).
     """
 
     rates: np.ndarray
     link_flow_count: np.ndarray
-    link_load: np.ndarray
-    saturated: np.ndarray
+    link_load: "np.ndarray | None"
+    saturated: "np.ndarray | None"
 
 
 def max_min_allocation(
     capacities: np.ndarray,
     paths: FlowPaths,
+    *,
+    tie_eps: float = 0.0,
+    need_loads: bool = True,
 ) -> AllocationResult:
     """Progressive-filling max-min fair allocation.
 
@@ -111,6 +120,21 @@ def max_min_allocation(
         ``(L,)`` link capacities in bytes/second.
     paths:
         Flow → link incidence (every flow must cross >= 1 link).
+    tie_eps:
+        ``0.0`` (the default) freezes exactly one bottleneck link per
+        filling iteration — the reference behaviour the fluid engine
+        depends on bit-for-bit.  A positive value enables the batched
+        variant used by the vector engine: every link whose fair share
+        is within ``tie_eps`` (relative) of the minimum freezes in the
+        same iteration, which collapses the many symmetric-NIC
+        iterations of an All-to-All steady state into one and skips the
+        reverse-CSR sort entirely.  Rates then differ from the reference
+        by at most ~``tie_eps`` relative per bottleneck level.
+    need_loads:
+        ``False`` skips the per-link load/saturation summary (the
+        result's ``link_load`` and ``saturated`` are ``None``) — the
+        vector engine's epoch loop only consumes ``rates``, and the
+        summary is a meaningful fraction of a small solve's cost.
 
     Raises
     ------
@@ -135,6 +159,32 @@ def max_min_allocation(
     row_lengths = np.diff(paths.indptr)
     if np.any(row_lengths == 0):
         raise ValueError("flow with empty path cannot be allocated")
+
+    if tie_eps > 0.0:
+        rates = _batched_fill(
+            capacities, paths, link_flow_count, row_lengths, rates, tie_eps
+        )
+        if not need_loads:
+            return AllocationResult(
+                rates=rates,
+                link_flow_count=link_flow_count,
+                link_load=None,
+                saturated=None,
+            )
+        link_load = np.bincount(
+            paths.link_ids,
+            weights=np.repeat(rates, row_lengths),
+            minlength=n_links,
+        )
+        saturated = (link_flow_count > 0) & (
+            link_load >= capacities * (1.0 - 1e-9) - _EPS
+        )
+        return AllocationResult(
+            rates=rates,
+            link_flow_count=link_flow_count,
+            link_load=link_load,
+            saturated=saturated,
+        )
 
     # Reverse (link -> flows) CSR for freezing whole bottleneck links at once.
     order = np.argsort(paths.link_ids, kind="stable")
@@ -185,3 +235,63 @@ def max_min_allocation(
         link_load=link_load,
         saturated=saturated,
     )
+
+
+def _batched_fill(
+    capacities: np.ndarray,
+    paths: FlowPaths,
+    link_flow_count: np.ndarray,
+    row_lengths: np.ndarray,
+    rates: np.ndarray,
+    tie_eps: float,
+) -> np.ndarray:
+    """Progressive filling that freezes all near-tied bottlenecks at once.
+
+    Sort-free: instead of a reverse (link -> flows) CSR it keeps an
+    entry-level liveness mask and finds the flows hit by the tied links
+    with two boolean gathers per iteration.  Symmetric fabrics (every
+    NIC equally loaded) collapse to one or two iterations total.
+    """
+    n_links = len(capacities)
+    n_flows = paths.n_flows
+    link_of_entry = paths.link_ids
+    flow_of_entry = np.repeat(np.arange(n_flows, dtype=np.int64), row_lengths)
+    entry_live = np.ones(len(link_of_entry), dtype=bool)
+    residual = capacities.copy()
+    unfrozen_count = link_flow_count.astype(np.float64)
+    unfrozen = np.ones(n_flows, dtype=bool)
+    remaining = n_flows
+    fair = np.empty(n_links, dtype=np.float64)
+    for _ in range(n_links + n_flows + 1):
+        if remaining == 0:
+            break
+        fair.fill(np.inf)
+        np.divide(residual, unfrozen_count, out=fair, where=unfrozen_count > 0)
+        share = float(fair.min())
+        if not np.isfinite(share):  # pragma: no cover - defensive
+            break
+        share = max(share, 0.0)
+        tied = fair <= share * (1.0 + tie_eps)
+        newly_mask = np.zeros(n_flows, dtype=bool)
+        newly_mask[flow_of_entry[tied[link_of_entry] & entry_live]] = True
+        newly_mask &= unfrozen
+        n_new = int(np.count_nonzero(newly_mask))
+        if n_new == 0:  # pragma: no cover - numeric guard
+            unfrozen_count[tied] = 0
+            continue
+        rates[newly_mask] = share
+        unfrozen[newly_mask] = False
+        remaining -= n_new
+        if remaining == 0:
+            # Everything froze this round (the common symmetric-fabric
+            # case) — the liveness/residual bookkeeping below only
+            # feeds the next iteration.
+            break
+        dead = newly_mask[flow_of_entry] & entry_live
+        entry_live &= ~dead
+        removed = np.bincount(link_of_entry[dead], minlength=n_links)
+        residual -= share * removed
+        unfrozen_count -= removed
+        np.maximum(residual, 0.0, out=residual)
+        unfrozen_count[tied] = 0  # fully frozen by construction
+    return rates

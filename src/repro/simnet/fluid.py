@@ -1,4 +1,4 @@
-"""Event-driven fluid (flow-level) network simulation.
+"""Event-driven fluid (flow-level) network simulation — the reference engine.
 
 Flows are fluid streams that share link bandwidth max-min fairly
 (:mod:`repro.simnet.fairness`).  Whenever the set of active flows changes
@@ -6,13 +6,26 @@ Flows are fluid streams that share link bandwidth max-min fairly
 the next completion / loss events are rescheduled.  Between events every
 flow progresses linearly at its allocated rate.
 
-Design notes (performance — see project coding guides):
+Layering: this module is one of two *engines* behind the ``ENGINES``
+registry (see :mod:`repro.engines`).  It serves the generator-driven
+reference runtime (:mod:`repro.simmpi.runtime`), which injects flows one
+at a time as rank programs progress; the batched alternative
+(:mod:`repro.simnet.vector`) executes statically lowered schedules
+(:mod:`repro.simmpi.lowering`) instead and re-uses this module's epsilon
+and event-priority conventions to stay equivalent.  This engine is the
+default and the correctness oracle: it alone models the TCP loss
+overlay, and cache keys are defined by its behaviour.
+
+Design notes (performance and the engine split):
 
 * per-flow state that the hot loop touches (remaining bytes, rates) lives
   in NumPy arrays indexed by *slot*; Python ``Flow`` objects are only
   touched on state transitions;
 * the allocation structure (flow→link CSR) is rebuilt only when the
-  active set changes, not on pure re-samples;
+  active set changes, not on pure re-samples — but the rebuild itself is
+  a per-flow Python loop plus ``FlowPaths.from_lists``, which is what
+  caps this engine at tens of ranks (the vector engine replaces exactly
+  this step with a precomputed per-pair CSR gather);
 * event cascades within one timestamp are collapsed: completion handlers
   fire user callbacks, which typically inject follow-up flows at the same
   timestamp; those coalesce into a single follow-up resolve.
@@ -200,6 +213,8 @@ class FluidNetwork:
         self.flows_completed = 0
         self.total_losses = 0
         self.max_concurrent = 0
+        self.resolves = 0
+        self.epochs = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -294,6 +309,7 @@ class FluidNetwork:
         dt = now - self._last_advance
         if dt > 0 and len(self._slot_flows):
             self._remaining -= self._rates * dt
+            self.epochs += 1
         self._last_advance = now
 
     def _complete_finished(self) -> list[Flow]:
@@ -366,6 +382,7 @@ class FluidNetwork:
     def _resolve(self) -> None:
         """Re-solve rates and reschedule the next completion/loss events."""
         self._resolve_event = None
+        self.resolves += 1
         self._advance()
         finished = self._complete_finished()
 

@@ -1,12 +1,64 @@
-"""Summary statistics helpers for simulation outputs."""
+"""Summary statistics helpers and per-simulation cost counters.
+
+:class:`Summary` condenses samples of durations/throughputs;
+:class:`SimStats` counts what one simulation *cost* (allocation
+resolves, advance epochs, engine events) so engine regressions are
+visible in sweep output.  Collection is always cheap (plain counters);
+*surfacing* the counters on measurement rows is gated behind the
+``REPRO_SIM_STATS`` environment flag (see :func:`stats_enabled`).
+"""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Summary", "summarize"]
+__all__ = ["Summary", "summarize", "SimStats", "stats_enabled"]
+
+#: Environment flag gating the sim_* columns on measurement rows.
+STATS_ENV = "REPRO_SIM_STATS"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def stats_enabled() -> bool:
+    """Whether ``REPRO_SIM_STATS`` asks for per-simulation cost columns."""
+    raw = os.environ.get(STATS_ENV, "")
+    return raw.strip().lower() in _TRUTHY
+
+
+@dataclass(frozen=True)
+class SimStats:
+    """Cost counters of one simulation (or a sum over repetitions).
+
+    Attributes
+    ----------
+    engine:
+        Name of the simulation engine that produced the run.
+    resolves:
+        Bandwidth-allocation solves (max-min re-solves) performed.
+    epochs:
+        Flow-advance epochs: distinct timesteps at which active flows
+        actually progressed (``dt > 0`` with a non-empty active set).
+    events:
+        Discrete events executed by the event kernel.
+    """
+
+    engine: str
+    resolves: int
+    epochs: int
+    events: int
+
+    def merged(self, other: "SimStats") -> "SimStats":
+        """Counter-wise sum (for aggregating repetitions of one point)."""
+        return SimStats(
+            engine=self.engine,
+            resolves=self.resolves + other.resolves,
+            epochs=self.epochs + other.epochs,
+            events=self.events + other.events,
+        )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,620 @@
+"""Batched vector engine: epoch-synchronized flow simulation.
+
+The reference stack interprets rank programs as Python generators and
+pays per-flow Python work on every allocation resolve
+(:mod:`repro.simnet.fluid` rebuilds its slot arrays and CSR paths one
+flow at a time).  This module executes a *lowered* schedule
+(:mod:`repro.simmpi.lowering`) instead, advancing **all active flows in
+synchronized epochs**:
+
+* one max-min solve (:func:`repro.simnet.fairness.max_min_allocation`),
+* one vectorized minimum time-to-completion,
+* one array subtraction per epoch,
+
+with completions handled as batches that feed the next phase of the
+schedule.  The flow → link CSR is never rebuilt from Python lists: the
+route of every (src, dst) pair is encoded once at startup, and the
+active set's :class:`~repro.simnet.fairness.FlowPaths` is assembled per
+epoch with a vectorized ragged gather.
+
+The protocol timeline (submit costs, eager/rendezvous handshakes,
+per-pair FIFO wire channels, sender concurrency caps, receiver demux)
+replays the reference runtime's arithmetic event for event on the same
+:class:`~repro.simnet.engine.Engine` kernel, so with jitter disabled
+the two engines agree to floating-point roundoff; the fluid engine
+remains the correctness oracle (see ``repro.engines``).
+
+Not supported: the TCP loss overlay (stalls reintroduce per-flow state
+transitions; profiles with losses enabled are rejected — override
+``loss=None`` to compare engines) and programs that cannot be lowered
+(wildcards, ``ctx.now``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..exceptions import DeadlockError, SimulationError
+from .engine import Engine, EventHandle
+from .fairness import FlowPaths, max_min_allocation
+from .fluid import _BYTE_EPS, _RESOLVE_PRIORITY
+from .loss import LossParams
+from .penalty import HolPenalty
+from .resources import SerialResource
+from .rng import RngFactory
+from .stats import SimStats
+from .topology import Topology
+from .trace import NullTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from ..simmpi.lowering import LoweredProgram
+    from ..simmpi.runtime import RunResult
+    from ..simmpi.transport import TransportParams
+
+__all__ = ["VectorSimulator"]
+
+#: Relative tolerance for freezing near-tied bottleneck links in one
+#: filling iteration (see ``max_min_allocation(tie_eps=...)``).  Keeps
+#: allocations within ~1e-9 of the reference solve — far inside the
+#: engines' 1e-6 equivalence contract — while collapsing the symmetric
+#: steady-state of an All-to-All to a couple of iterations per epoch.
+_ALLOC_TIE_EPS = 1e-9
+
+
+class _HostScheduler:
+    """Per-host wire admission: pair-FIFO channels + concurrency cap.
+
+    Mirrors the reference runtime's sender scheduler, dispatching
+    message ids instead of message objects.
+    """
+
+    __slots__ = ("_sim", "_limit", "_queue", "_busy_pairs", "_in_flight")
+
+    def __init__(self, sim: "VectorSimulator", concurrency: int | None) -> None:
+        self._sim = sim
+        self._limit = concurrency if concurrency is not None else math.inf
+        self._queue: deque[int] = deque()
+        self._busy_pairs: set[int] = set()
+        self._in_flight = 0
+
+    def submit(self, mid: int) -> None:
+        self._queue.append(mid)
+        self._pump()
+
+    def release(self, mid: int) -> None:
+        self._in_flight -= 1
+        self._busy_pairs.discard(self._sim._msg_dst[mid])
+        self._pump()
+
+    def _pump(self) -> None:
+        if not self._queue:
+            return
+        blocked: deque[int] = deque()
+        while self._queue and self._in_flight < self._limit:
+            mid = self._queue.popleft()
+            dst = self._sim._msg_dst[mid]
+            if dst in self._busy_pairs:
+                blocked.append(mid)
+                continue
+            self._busy_pairs.add(dst)
+            self._in_flight += 1
+            self._sim._inject(mid)
+        blocked.extend(self._queue)
+        self._queue = blocked
+
+
+class _RankState:
+    __slots__ = ("next_segment", "finished", "finish_time", "waiting")
+
+    def __init__(self) -> None:
+        self.next_segment = 0
+        self.finished = False
+        self.finish_time = math.nan
+        self.waiting = 0
+
+
+class VectorSimulator:
+    """Executes a :class:`~repro.simmpi.lowering.LoweredProgram`.
+
+    Constructor parameters mirror :class:`~repro.simmpi.runtime.Runtime`
+    so cluster profiles drive both engines identically.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        transport: "TransportParams",
+        *,
+        nprocs: int | None = None,
+        loss_params: LossParams | None = None,
+        hol_penalty: HolPenalty | None = None,
+        start_skew_scale: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.nprocs = topology.n_hosts if nprocs is None else int(nprocs)
+        if self.nprocs < 1:
+            raise ValueError("need at least one rank")
+        if self.nprocs > topology.n_hosts:
+            raise ValueError(
+                f"nprocs={self.nprocs} exceeds hosts={topology.n_hosts}"
+            )
+        if loss_params is not None and loss_params.enabled:
+            raise SimulationError(
+                "the vector engine does not model the TCP loss overlay; "
+                "use the fluid engine, or override the profile with "
+                "loss=None to compare engines on a lossless fabric"
+            )
+        if start_skew_scale < 0:
+            raise ValueError("start_skew_scale must be >= 0")
+        self.topology = topology
+        self.transport = transport
+        self.engine = Engine()
+        rng_factory = RngFactory(seed)
+        self._jitter_rng = rng_factory.stream("mpi/jitter")
+        self._skew_rng = rng_factory.stream("mpi/skew")
+        self._start_skew_scale = start_skew_scale
+        self._capacities = np.asarray(topology.capacities(), dtype=np.float64)
+        if hol_penalty is not None and hol_penalty.enabled:
+            self._hol = hol_penalty
+            self._hol_eta = hol_penalty.eta_vector(
+                [link.kind for link in topology.links]
+            )
+        else:
+            self._hol = None
+            self._hol_eta = None
+        self._started = False
+
+        # Filled by _setup() once the lowered schedule is known.
+        self._segments: tuple = ()
+        self._msg_src: list[int] = []
+        self._msg_dst: list[int] = []
+        self._msg_nbytes: list[int] = []
+        self._msg_seq: list[int] = []
+        self._msg_local: list[bool] = []
+        self._msg_eager: list[bool] = []
+        self._msg_submit: list[float] = []
+        self._msg_wire: np.ndarray = np.empty(0)
+        self._msg_pair: np.ndarray = np.empty(0, dtype=np.int64)
+        self._msg_dst_arr: np.ndarray = np.empty(0, dtype=np.int64)
+        self._msg_src_arr: np.ndarray = np.empty(0, dtype=np.int64)
+        self._pair_indptr: np.ndarray = np.empty(0, dtype=np.int64)
+        self._pair_links: np.ndarray = np.empty(0, dtype=np.int64)
+        self._pair_len: np.ndarray = np.empty(0, dtype=np.int64)
+        self._pair_links2d: "np.ndarray | None" = None
+
+        # Flow core (active set, slot order = injection order).
+        self._act_mids = np.empty(0, dtype=np.int64)
+        self._act_remaining = np.empty(0, dtype=np.float64)
+        self._act_rates = np.empty(0, dtype=np.float64)
+        self._pending: list[int] = []
+        self._inbound_open = np.zeros(self.nprocs, dtype=np.int64)
+        self._outbound_open = np.zeros(self.nprocs, dtype=np.int64)
+        self._structure_dirty = False
+        self._last_advance = 0.0
+        self._resolve_event: EventHandle | None = None
+        self._completion_event: EventHandle | None = None
+
+        # Protocol state.
+        self._ranks = [_RankState() for _ in range(self.nprocs)]
+        self._schedulers = [
+            _HostScheduler(self, transport.sender_concurrency)
+            for _ in range(self.nprocs)
+        ]
+        self._mux = [
+            SerialResource(self.engine, name=f"host{h}.rxcpu")
+            for h in range(self.nprocs)
+        ]
+        self._send_done: list[bool] = []
+        self._recv_done: list[bool] = []
+        self._recv_posted: list[bool] = []
+        self._env_processed: list[bool] = []
+        self._matched: list[bool] = []
+        self._watchers: dict[tuple[str, int], list[int]] = {}
+        self._recv_next: dict[tuple[int, int], int] = {}
+        self._reorder: dict[tuple[int, int], dict[int, int]] = {}
+
+        # Aggregate statistics.
+        self.flows_completed = 0
+        self.max_concurrent = 0
+        self.resolves = 0
+        self.epochs = 0
+
+    # ------------------------------------------------------------------
+    # Schedule setup
+    # ------------------------------------------------------------------
+
+    def _setup(self, lowered: "LoweredProgram") -> None:
+        transport = self.transport
+        self._segments = lowered.segments
+        n_messages = len(lowered.messages)
+        pair_ids: dict[tuple[int, int], int] = {}
+        routes: list[tuple[int, ...]] = []
+        wire = np.zeros(n_messages, dtype=np.float64)
+        pair = np.zeros(n_messages, dtype=np.int64)
+        for m in lowered.messages:
+            self._msg_src.append(m.src)
+            self._msg_dst.append(m.dst)
+            self._msg_nbytes.append(m.nbytes)
+            self._msg_seq.append(m.seq)
+            self._msg_local.append(m.local)
+            self._msg_eager.append(transport.is_eager(m.nbytes))
+            self._msg_submit.append(transport.submit_cost(m.nbytes))
+            if not m.local:
+                key = (m.src, m.dst)
+                pid = pair_ids.get(key)
+                if pid is None:
+                    pid = len(routes)
+                    pair_ids[key] = pid
+                    routes.append(self.topology.route(m.src, m.dst))
+                pair[m.mid] = pid
+                wire[m.mid] = transport.wire_bytes(m.nbytes)
+        self._msg_wire = wire
+        self._msg_pair = pair
+        self._msg_dst_arr = np.asarray(self._msg_dst, dtype=np.int64)
+        self._msg_src_arr = np.asarray(self._msg_src, dtype=np.int64)
+        lengths = np.fromiter(
+            (len(r) for r in routes), dtype=np.int64, count=len(routes)
+        )
+        self._pair_indptr = np.zeros(len(routes) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=self._pair_indptr[1:])
+        self._pair_len = lengths
+        if routes and self._pair_indptr[-1]:
+            self._pair_links = np.concatenate(
+                [np.asarray(r, dtype=np.int64) for r in routes]
+            )
+        else:
+            self._pair_links = np.empty(0, dtype=np.int64)
+        if len(lengths) and int(lengths.min()) == int(lengths.max()):
+            # Uniform route length (true on single-switch and other
+            # symmetric fabrics): the per-pair routes form a dense
+            # matrix, so the per-epoch CSR assembly reduces to one fancy
+            # index instead of a ragged gather.
+            self._pair_links2d = self._pair_links.reshape(
+                len(routes), int(lengths[0])
+            )
+        self._send_done = [False] * n_messages
+        self._recv_done = [False] * n_messages
+        self._recv_posted = [False] * n_messages
+        self._env_processed = [False] * n_messages
+        self._matched = [False] * n_messages
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+
+    def run(
+        self, lowered: "LoweredProgram", *, max_events: int | None = None
+    ) -> "RunResult":
+        """Execute the schedule; returns the reference-shaped result."""
+        from ..simmpi.runtime import RunResult
+
+        if lowered.nprocs != self.nprocs:
+            raise ValueError(
+                f"schedule has {lowered.nprocs} ranks, simulator has "
+                f"{self.nprocs}"
+            )
+        if self._started:
+            raise SimulationError("VectorSimulator.run may only be called once")
+        self._started = True
+        self._setup(lowered)
+        for rank in range(self.nprocs):
+            skew = (
+                float(self._skew_rng.uniform(0.0, self._start_skew_scale))
+                if self._start_skew_scale > 0
+                else 0.0
+            )
+            self.engine.schedule(skew, lambda r=rank: self._advance(r))
+        self.engine.run(max_events=max_events)
+        unfinished = [r for r, s in enumerate(self._ranks) if not s.finished]
+        if unfinished:
+            raise DeadlockError(
+                f"ranks {unfinished} blocked with no pending events "
+                "(mismatched sends/receives?)"
+            )
+        finish = [s.finish_time for s in self._ranks]
+        return RunResult(
+            duration=max(finish),
+            rank_finish_times=finish,
+            events_processed=self.engine.events_processed,
+            flows_completed=self.flows_completed,
+            total_losses=0,
+            max_concurrent_flows=self.max_concurrent,
+            trace=NullTrace(),
+            stats=SimStats(
+                engine="vector",
+                resolves=self.resolves,
+                epochs=self.epochs,
+                events=self.engine.events_processed,
+            ),
+        )
+
+    def _advance(self, rank: int) -> None:
+        """Post segments until one blocks (the lowered ``Waitall`` loop)."""
+        state = self._ranks[rank]
+        segments = self._segments[rank]
+        while True:
+            segment = segments[state.next_segment]
+            state.next_segment += 1
+            for op in segment.ops:
+                kind = op[0]
+                if kind == "send":
+                    self._post_send(op[1])
+                elif kind == "recv":
+                    self._post_recv(op[1])
+                # "copy": zero simulated time, nothing to schedule.
+            if segment.gate is None:
+                state.finished = True
+                state.finish_time = self.engine.now
+                return
+            pending = [tok for tok in segment.gate if not self._token_done(tok)]
+            if pending:
+                state.waiting = len(pending)
+                for token in pending:
+                    self._watchers.setdefault(token, []).append(rank)
+                return
+            # Gate already satisfied: keep advancing within this event.
+
+    def _token_done(self, token: tuple[str, int]) -> bool:
+        kind, mid = token
+        return self._send_done[mid] if kind == "send" else self._recv_done[mid]
+
+    def _notify(self, token: tuple[str, int]) -> None:
+        watchers = self._watchers.pop(token, None)
+        if not watchers:
+            return
+        for rank in watchers:
+            state = self._ranks[rank]
+            state.waiting -= 1
+            if state.waiting == 0 and not state.finished:
+                self.engine.schedule(
+                    self.engine.now, lambda r=rank: self._advance(r)
+                )
+
+    # ------------------------------------------------------------------
+    # Protocol timeline (mirrors the reference runtime arithmetic)
+    # ------------------------------------------------------------------
+
+    def _jitter(self) -> float:
+        scale = self.transport.jitter_scale
+        if scale <= 0:
+            return 0.0
+        return float(self._jitter_rng.exponential(scale))
+
+    def _post_send(self, mid: int) -> None:
+        if self._msg_local[mid]:
+            delay = self.transport.local_copy_time(self._msg_nbytes[mid])
+            self.engine.schedule_after(delay, lambda: self._local_deliver(mid))
+            return
+        submit_delay = self._jitter() + self._msg_submit[mid]
+        if self._msg_eager[mid]:
+            src = self._msg_src[mid]
+            self.engine.schedule_after(
+                submit_delay, lambda: self._schedulers[src].submit(mid)
+            )
+        else:
+            rts_delay = (
+                submit_delay
+                + self.transport.ctrl_overhead
+                + self.transport.base_latency
+            )
+            self.engine.schedule_after(
+                rts_delay, lambda: self._envelope_in_order(mid)
+            )
+
+    def _post_recv(self, mid: int) -> None:
+        self._recv_posted[mid] = True
+        # The statically-paired envelope may already have arrived and be
+        # waiting "unexpected"; claiming it now mirrors the runtime's
+        # unexpected-queue scan at post time.
+        if self._env_processed[mid] and not self._matched[mid]:
+            self._match(mid)
+
+    def _local_deliver(self, mid: int) -> None:
+        self._complete_send(mid)
+        self._envelope_in_order(mid)
+
+    def _envelope_in_order(self, mid: int) -> None:
+        """Process envelope arrivals strictly in per-pair send order."""
+        key = (self._msg_src[mid], self._msg_dst[mid])
+        expected = self._recv_next.get(key, 0)
+        buffer = self._reorder.setdefault(key, {})
+        buffer[self._msg_seq[mid]] = mid
+        while expected in buffer:
+            self._process_envelope(buffer.pop(expected))
+            expected += 1
+        self._recv_next[key] = expected
+
+    def _process_envelope(self, mid: int) -> None:
+        self._env_processed[mid] = True
+        if self._recv_posted[mid] and not self._matched[mid]:
+            self._match(mid)
+        # Else: the envelope waits for its receive (unexpected queue).
+
+    def _match(self, mid: int) -> None:
+        self._matched[mid] = True
+        if self._msg_eager[mid] or self._msg_local[mid]:
+            self._complete_recv(mid)
+        else:
+            # Rendezvous: CTS travels back, then the payload is submitted.
+            src = self._msg_src[mid]
+            delay = self.transport.ctrl_overhead + self.transport.base_latency
+            self.engine.schedule_after(
+                delay, lambda: self._schedulers[src].submit(mid)
+            )
+
+    def _complete_send(self, mid: int) -> None:
+        self._send_done[mid] = True
+        self._notify(("send", mid))
+
+    def _complete_recv(self, mid: int) -> None:
+        self._recv_done[mid] = True
+        self._notify(("recv", mid))
+
+    def _wire_arrival(self, mid: int, inbound: int) -> None:
+        if self.transport.mux_applies(self._msg_nbytes[mid], inbound):
+            dst = self._msg_dst[mid]
+            self._mux[dst].request(
+                self.transport.mux_overhead, lambda: self._deliver(mid)
+            )
+        else:
+            self._deliver(mid)
+
+    def _deliver(self, mid: int) -> None:
+        if self._msg_eager[mid]:
+            self._envelope_in_order(mid)
+        else:
+            # Rendezvous payload: the receive was claimed at CTS time.
+            self._complete_recv(mid)
+
+    # ------------------------------------------------------------------
+    # Batched flow core (the epoch loop)
+    # ------------------------------------------------------------------
+
+    def _inject(self, mid: int) -> None:
+        self._pending.append(mid)
+        self._inbound_open[self._msg_dst[mid]] += 1
+        self._outbound_open[self._msg_src[mid]] += 1
+        if self._resolve_event is None or self._resolve_event.cancelled:
+            self._resolve_event = self.engine.schedule(
+                self.engine.now, self._resolve, priority=_RESOLVE_PRIORITY
+            )
+        self._structure_dirty = True
+
+    def _resolve(self) -> None:
+        """One epoch: advance, batch completions, re-solve, reschedule."""
+        self._resolve_event = None
+        self.resolves += 1
+        now = self.engine.now
+        dt = now - self._last_advance
+        n_active = len(self._act_mids)
+        if dt > 0 and n_active:
+            self._act_remaining -= self._act_rates * dt
+            self.epochs += 1
+        self._last_advance = now
+
+        finished = np.empty(0, dtype=np.int64)
+        finished_inbound = np.empty(0, dtype=np.int64)
+        if n_active:
+            mask = self._act_remaining <= _BYTE_EPS
+            if mask.any():
+                finished = self._act_mids[mask]
+                dsts = self._msg_dst_arr[finished]
+                srcs = self._msg_src_arr[finished]
+                # Snapshot receiver concurrency before decrementing, so
+                # flows finishing in the same batch all observe each
+                # other (the receiver demultiplexes them together).
+                finished_inbound = self._inbound_open[dsts]
+                np.subtract.at(self._inbound_open, dsts, 1)
+                np.subtract.at(self._outbound_open, srcs, 1)
+                self.flows_completed += len(finished)
+                keep = ~mask
+                self._act_mids = self._act_mids[keep]
+                self._act_remaining = self._act_remaining[keep]
+                self._structure_dirty = True
+
+        if self._structure_dirty:
+            if self._pending:
+                admitted = np.asarray(self._pending, dtype=np.int64)
+                self._pending.clear()
+                self._act_mids = np.concatenate([self._act_mids, admitted])
+                self._act_remaining = np.concatenate(
+                    [self._act_remaining, self._msg_wire[admitted]]
+                )
+            self._structure_dirty = False
+            self.max_concurrent = max(self.max_concurrent, len(self._act_mids))
+
+        n_active = len(self._act_mids)
+        if n_active:
+            paths = self._active_paths()
+            capacities = self._capacities
+            if self._hol is not None:
+                counts = np.bincount(
+                    paths.link_ids, minlength=len(capacities)
+                )
+                capacities = self._hol.effective(
+                    capacities, self._hol_eta, counts
+                )
+            alloc = max_min_allocation(
+                capacities, paths, tie_eps=_ALLOC_TIE_EPS, need_loads=False
+            )
+            self._act_rates = alloc.rates
+        else:
+            self._act_rates = np.empty(0, dtype=np.float64)
+
+        self._schedule_completion()
+
+        # Completion handling runs last (slot order): released senders
+        # pump follow-up flows, which coalesce into one resolve at this
+        # timestamp — the same cascade discipline as the fluid engine.
+        for mid, inbound in zip(finished, finished_inbound):
+            self._on_flow_complete(int(mid), int(inbound))
+
+    def _active_paths(self) -> FlowPaths:
+        """Assemble the active set's CSR with a vectorized ragged gather."""
+        pairs = self._msg_pair[self._act_mids]
+        if self._pair_links2d is not None:
+            width = self._pair_links2d.shape[1]
+            indptr = np.arange(
+                0, (len(pairs) + 1) * width, width, dtype=np.int64
+            )
+            return FlowPaths(
+                indptr=indptr,
+                link_ids=self._pair_links2d[pairs].reshape(-1),
+            )
+        counts = self._pair_len[pairs]
+        indptr = np.zeros(len(pairs) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        total = int(indptr[-1])
+        if total == 0:  # pragma: no cover - remote routes are never empty
+            return FlowPaths(indptr=indptr, link_ids=np.empty(0, dtype=np.int64))
+        starts = self._pair_indptr[pairs]
+        positions = np.ones(total, dtype=np.int64)
+        positions[0] = starts[0]
+        ends = np.cumsum(counts)[:-1]
+        if len(ends):
+            positions[ends] = starts[1:] - starts[:-1] - counts[:-1] + 1
+        link_ids = self._pair_links[np.cumsum(positions)]
+        return FlowPaths(indptr=indptr, link_ids=link_ids)
+
+    def _schedule_completion(self) -> None:
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if not len(self._act_mids):
+            return
+        rates = self._act_rates
+        if float(rates.min()) > 0.0:
+            dt = float(max((self._act_remaining / rates).min(), 0.0))
+        else:
+            positive = rates > 0
+            if not positive.any():  # pragma: no cover - defensive
+                raise SimulationError("active flows with zero allocated rate")
+            with np.errstate(divide="ignore"):
+                ttc = np.where(positive, self._act_remaining / rates, np.inf)
+            dt = float(max(ttc.min(), 0.0))
+        self._completion_event = self.engine.schedule_after(
+            dt, self._on_completion_due, priority=_RESOLVE_PRIORITY - 1
+        )
+
+    def _on_completion_due(self) -> None:
+        self._completion_event = None
+        self._structure_dirty = True
+        self._resolve()
+
+    def _on_flow_complete(self, mid: int, inbound: int) -> None:
+        self._schedulers[self._msg_src[mid]].release(mid)
+        self._complete_send(mid)
+        self.engine.schedule_after(
+            self.transport.base_latency,
+            lambda: self._wire_arrival(mid, inbound),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VectorSimulator(nprocs={self.nprocs}, "
+            f"active={len(self._act_mids)}, completed={self.flows_completed})"
+        )

@@ -45,7 +45,8 @@ from ..analysis.io import write_csv
 from ..clusters.profiles import ClusterProfile, get_cluster
 from ..core.signature import AlltoallSample
 from ..exec.executors import Executor, SerialExecutor
-from ..exec.sinks import ROW_FIELDS, ResultSink
+from ..exec.sinks import ResultSink, row_fields
+from ..simnet.stats import stats_enabled
 from ..exec.task import ExecutionTask
 from ..exceptions import ExecutionError, UnknownNameError
 from ..registry import CLUSTERS, EXECUTORS
@@ -117,8 +118,13 @@ class PointResult:
         return self.error is None
 
     def to_row(self) -> dict[str, object]:
-        """Flat tabular view of this point (:data:`ROW_FIELDS` schema)."""
-        return {
+        """Flat tabular view of this point (:func:`row_fields` schema).
+
+        The base columns are fixed; with ``REPRO_SIM_STATS`` set, the
+        engine name and simulation-effort counters are appended (empty
+        for cache hits — cached samples carry no counters).
+        """
+        row: dict[str, object] = {
             "cluster": self.point.cluster,
             "algorithm": self.point.algorithm,
             "pattern": (
@@ -134,6 +140,13 @@ class PointResult:
             "cached": int(self.cached),
             "error": self.error or "",
         }
+        if stats_enabled():
+            stats = getattr(self.sample, "sim_stats", None)
+            row["engine"] = self.point.engine
+            row["sim_resolves"] = "" if stats is None else stats.resolves
+            row["sim_epochs"] = "" if stats is None else stats.epochs
+            row["sim_events"] = "" if stats is None else stats.events
+        return row
 
 
 @dataclass
@@ -180,7 +193,7 @@ class SweepResult:
 
     def to_rows(self) -> tuple[list[str], list[dict[str, object]]]:
         """Flat tabular view (CSV/JSONL-ready)."""
-        return list(ROW_FIELDS), [r.to_row() for r in self.results]
+        return row_fields(), [r.to_row() for r in self.results]
 
     def save_csv(self, path: str | Path) -> Path:
         """Persist rows as CSV (parents created)."""
@@ -401,7 +414,7 @@ class SweepRunner:
         emitter = _OrderedEmitter(total, opened)
         try:
             for sink in sinks:
-                sink.open(ROW_FIELDS)
+                sink.open(row_fields())
                 opened.append(sink)
             for idx in sorted(cached):
                 result = PointResult(

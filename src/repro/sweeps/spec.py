@@ -23,7 +23,8 @@ import itertools
 from dataclasses import dataclass
 
 from .. import models as _models  # noqa: F401 - registers the built-in cost models
-from ..registry import ALGORITHMS, CLUSTERS, MODELS
+from ..engines import DEFAULT_ENGINE, default_engine
+from ..registry import ALGORITHMS, CLUSTERS, ENGINES, MODELS
 from ..simmpi.collectives import variant_for
 from ..traffic import PatternSpec, as_pattern
 
@@ -41,6 +42,7 @@ class SweepPoint:
     seed: int
     reps: int
     pattern: PatternSpec | None = None
+    engine: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_processes < 2:
@@ -51,6 +53,11 @@ class SweepPoint:
             raise ValueError("reps must be >= 1")
         # Uniform canonicalises to None: one identity, one cache key.
         object.__setattr__(self, "pattern", as_pattern(self.pattern))
+        # Engine resolves eagerly (None -> process default), so a
+        # REPRO_SIM_ENGINE override participates in cache keys instead
+        # of silently aliasing the default engine's entries.
+        engine = self.engine if self.engine is not None else default_engine()
+        object.__setattr__(self, "engine", ENGINES.canonical(engine))
 
     def key_payload(self) -> dict[str, object]:
         """The point's contribution to its cache key (stable field order).
@@ -68,6 +75,10 @@ class SweepPoint:
         }
         if self.pattern is not None:
             payload["pattern"] = self.pattern.cache_payload()
+        if self.engine != DEFAULT_ENGINE:
+            # Default-engine points keep the historical payload exactly,
+            # so introducing the engine axis never invalidated caches.
+            payload["engine"] = self.engine
         return payload
 
 
@@ -100,6 +111,11 @@ class SweepSpec:
         finished sweep's samples.  Not a grid axis — it never affects
         which points run or their cache keys; the runner attaches the
         ranked comparisons to ``SweepResult.comparisons``.
+    engine:
+        Simulation engine for every point (an entry of
+        :data:`repro.registry.ENGINES`); ``None`` defers to the
+        process-wide default (``REPRO_SIM_ENGINE`` or ``fluid``).
+        Non-default engines enter each point's cache key.
     """
 
     clusters: tuple[str, ...]
@@ -110,6 +126,7 @@ class SweepSpec:
     seeds: tuple[int, ...] = (0,)
     reps: int = 3
     models: tuple[str, ...] = ()
+    engine: str | None = None
 
     def __post_init__(self) -> None:
         # Cluster/algorithm names resolvable in the registries are
@@ -169,6 +186,13 @@ class SweepSpec:
             if resolved not in canonical_models:
                 canonical_models.append(resolved)
         object.__setattr__(self, "models", tuple(canonical_models))
+        if self.engine is not None:
+            if self.engine not in ENGINES:
+                known = ", ".join(ENGINES.names())
+                raise ValueError(
+                    f"unknown engine {self.engine!r}; known: {known}"
+                )
+            object.__setattr__(self, "engine", ENGINES.canonical(self.engine))
 
     @property
     def n_points(self) -> int:
@@ -189,6 +213,7 @@ class SweepSpec:
                 seed=seed,
                 reps=self.reps,
                 pattern=pattern,
+                engine=self.engine,
             )
             for cluster, n, m, algorithm, pattern, seed in itertools.product(
                 self.clusters, self.nprocs, self.sizes,

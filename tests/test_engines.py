@@ -1,0 +1,332 @@
+"""The engine layer: registry, lowering, vector-vs-fluid equivalence,
+cache-key stability, env/CLI plumbing and the stats columns."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import api
+from repro.cli import main
+from repro.clusters.profiles import get_cluster
+from repro.engines import DEFAULT_ENGINE, ENGINE_ENV, default_engine
+from repro.exceptions import (
+    LoweringError,
+    MeasurementError,
+    ScenarioError,
+    SimulationError,
+    UnknownNameError,
+)
+from repro.measure.alltoall import measure_alltoall
+from repro.registry import ENGINES
+from repro.scenario import ScenarioSpec
+from repro.simmpi.lowering import lower_program
+from repro.sweeps.cache import point_key, profile_fingerprint
+from repro.sweeps.spec import SweepPoint, SweepSpec
+from repro.traffic import as_pattern
+
+REL_TOL = 1e-6
+
+#: The three paper fabrics, with the TCP loss overlay disabled so the
+#: vector engine (which does not model it) can run the same workload.
+PAPER_CLUSTERS = ("fast-ethernet", "gigabit-ethernet", "myrinet")
+
+#: Scalar (regular All-to-All) algorithms — every registered name that
+#: is not a matrix variant.
+SCALAR_ALGORITHMS = tuple(
+    name for name in api.list_algorithms() if not name.startswith("alltoallv-")
+)
+
+
+def _lossless(name: str):
+    return get_cluster(name).with_overrides(loss=None)
+
+
+def _mean(cluster, engine, **kwargs):
+    kwargs.setdefault("reps", 1)
+    kwargs.setdefault("seed", 0)
+    sample = measure_alltoall(cluster, kwargs.pop("n", 6), kwargs.pop("m", 4096), engine=engine, **kwargs)
+    return sample.mean_time
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert "fluid" in ENGINES and "vector" in ENGINES
+        assert api.list_engines() == ["fluid", "vector"]
+
+    def test_aliases_resolve(self):
+        assert ENGINES.canonical("reference") == "fluid"
+        assert ENGINES.canonical("batched") == "vector"
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(UnknownNameError):
+            ENGINES.get("verlet")
+
+
+class TestEquivalence:
+    """The tentpole acceptance bar: vector matches fluid within 1e-6
+    relative on every lossless algorithm x cluster combination."""
+
+    @pytest.mark.parametrize("cluster_name", PAPER_CLUSTERS)
+    @pytest.mark.parametrize("algorithm", SCALAR_ALGORITHMS)
+    def test_scalar_algorithms(self, cluster_name, algorithm):
+        cluster = _lossless(cluster_name)
+        fluid = _mean(cluster, "fluid", algorithm=algorithm)
+        vector = _mean(cluster, "vector", algorithm=algorithm)
+        assert vector == pytest.approx(fluid, rel=REL_TOL)
+
+    @pytest.mark.parametrize("cluster_name", PAPER_CLUSTERS)
+    def test_rendezvous_sizes(self, cluster_name):
+        # 70 kB crosses every profile's rendezvous threshold, so the
+        # two-phase protocol replay (RTS edge) is exercised too.
+        cluster = _lossless(cluster_name)
+        fluid = _mean(cluster, "fluid", m=70_000)
+        vector = _mean(cluster, "vector", m=70_000)
+        assert vector == pytest.approx(fluid, rel=REL_TOL)
+
+    @pytest.mark.parametrize("pattern", ("zipf", "hotspot", "shift"))
+    @pytest.mark.parametrize("algorithm", ("direct", "rounds"))
+    def test_irregular_patterns(self, pattern, algorithm):
+        cluster = _lossless("gigabit-ethernet")
+        spec = as_pattern(pattern)
+        fluid = _mean(cluster, "fluid", algorithm=algorithm, pattern=spec)
+        vector = _mean(cluster, "vector", algorithm=algorithm, pattern=spec)
+        assert vector == pytest.approx(fluid, rel=REL_TOL)
+
+    def test_seed_sensitivity_matches(self):
+        # Skew/jitter RNG streams must replay identically per seed.
+        cluster = _lossless("gigabit-ethernet")
+        for seed in (0, 3):
+            fluid = _mean(cluster, "fluid", seed=seed)
+            vector = _mean(cluster, "vector", seed=seed)
+            assert vector == pytest.approx(fluid, rel=REL_TOL)
+
+
+class TestVectorLimits:
+    def test_rejects_loss_enabled_profile(self):
+        cluster = get_cluster("gigabit-ethernet")
+        assert cluster.loss is not None
+        with pytest.raises(SimulationError, match="loss overlay"):
+            measure_alltoall(cluster, 4, 2_048, reps=1, engine="vector")
+
+    def test_lowering_rejects_clock_reads(self):
+        def clocky(ctx, msg_size):
+            _ = ctx.now
+            yield from ()
+
+        with pytest.raises(LoweringError, match="ctx.now"):
+            lower_program(clocky, 4, 2_048)
+
+
+class TestCacheKeyStability:
+    """Default-engine cache keys must stay byte-identical to the
+    pre-engine-layer (PR 5) filenames, or every user's result cache is
+    silently invalidated."""
+
+    EXPECTED = {
+        "gigabit-ethernet":
+            "85b64bc1fb89a639f7835b46e012923c2e3e06f008fb844be02128ec9827ac94",
+        "fast-ethernet":
+            "fc9c0702ef7825163475c409cd7c8f5e17e5a7cac67f4291298ebfeb6af82636",
+        "myrinet":
+            "0c55e19095873e30ddad88e9cb0e6a3e9659d21af0112b6403c4fa5196642b0a",
+    }
+    EXPECTED_PATTERN = (
+        "a389d34fe2ab19c9f98053ce46ad84ba1e5155bc8af63ea02a6f7d8ef2993b71"
+    )
+    EXPECTED_SCENARIO = (
+        "55ca616a477f1531164d90b03258eb676bea1baa6eacb55c6205c19d3a4b5661"
+    )
+
+    @pytest.mark.parametrize("cluster_name", sorted(EXPECTED))
+    def test_registry_cluster_keys_unchanged(self, cluster_name):
+        point = SweepPoint(
+            cluster=cluster_name, n_processes=8, msg_size=4096,
+            algorithm="direct", seed=0, reps=3,
+        )
+        key = point_key(point, profile_fingerprint(get_cluster(cluster_name)))
+        assert key == self.EXPECTED[cluster_name]
+
+    def test_pattern_point_key_unchanged(self):
+        point = SweepPoint(
+            cluster="gigabit-ethernet", n_processes=8, msg_size=4096,
+            algorithm="bruck", seed=1, reps=2, pattern=as_pattern("zipf"),
+        )
+        key = point_key(
+            point, profile_fingerprint(get_cluster("gigabit-ethernet"))
+        )
+        assert key == self.EXPECTED_PATTERN
+
+    def test_scenario_point_key_unchanged(self):
+        spec = ScenarioSpec(
+            name="demo", base="gigabit-ethernet",
+            transport={"jitter_scale": 0.0},
+        )
+        point = SweepPoint(
+            cluster="demo", n_processes=8, msg_size=4096,
+            algorithm="direct", seed=0, reps=3,
+        )
+        key = point_key(
+            point, profile_fingerprint(spec.build_profile()),
+            scenario=spec.cache_payload(),
+        )
+        assert key == self.EXPECTED_SCENARIO
+
+    def test_non_default_engine_changes_key(self):
+        base = SweepPoint(
+            cluster="myrinet", n_processes=8, msg_size=4096,
+            algorithm="direct", seed=0, reps=3,
+        )
+        vec = dataclasses.replace(base, engine="vector")
+        fingerprint = profile_fingerprint(get_cluster("myrinet"))
+        assert "engine" not in base.key_payload()
+        assert vec.key_payload()["engine"] == "vector"
+        assert point_key(base, fingerprint) != point_key(vec, fingerprint)
+
+
+class TestEngineThreading:
+    def test_point_resolves_default_engine_eagerly(self):
+        point = SweepPoint(
+            cluster="myrinet", n_processes=4, msg_size=2048,
+            algorithm="direct", seed=0, reps=1,
+        )
+        assert point.engine == DEFAULT_ENGINE
+
+    def test_point_canonicalises_alias(self):
+        point = SweepPoint(
+            cluster="myrinet", n_processes=4, msg_size=2048,
+            algorithm="direct", seed=0, reps=1, engine="batched",
+        )
+        assert point.engine == "vector"
+
+    def test_sweep_spec_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            SweepSpec(
+                clusters=("myrinet",), nprocs=(4,), sizes=(2048,),
+                engine="verlet",
+            )
+
+    def test_sweep_spec_threads_engine_to_points(self):
+        spec = SweepSpec(
+            clusters=("myrinet",), nprocs=(4,), sizes=(2048,),
+            engine="vector",
+        )
+        assert all(p.engine == "vector" for p in spec.points())
+
+    def test_scenario_spec_collapses_default_engine(self):
+        spec = ScenarioSpec(name="d", base="myrinet", engine="fluid")
+        assert spec.engine is None
+        assert "engine" not in spec.to_dict()
+        assert "engine" not in spec.cache_payload()
+
+    def test_scenario_spec_round_trips_engine(self):
+        spec = ScenarioSpec(name="d", base="myrinet", engine="vector")
+        assert spec.engine == "vector"
+        rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.cache_payload()["engine"] == "vector"
+
+    def test_scenario_spec_rejects_unknown_engine(self):
+        with pytest.raises(ScenarioError, match="unknown engine"):
+            ScenarioSpec(name="d", base="myrinet", engine="verlet")
+
+    def test_measure_rejects_unknown_engine(self):
+        with pytest.raises(MeasurementError, match="unknown"):
+            measure_alltoall(
+                get_cluster("myrinet"), 4, 2048, reps=1, engine="verlet"
+            )
+
+
+class TestEnvDefault:
+    def test_default_is_fluid(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        assert default_engine() == "fluid"
+
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "batched")
+        assert default_engine() == "vector"
+        point = SweepPoint(
+            cluster="myrinet", n_processes=4, msg_size=2048,
+            algorithm="direct", seed=0, reps=1,
+        )
+        assert point.engine == "vector"
+        assert point.key_payload()["engine"] == "vector"
+
+    def test_malformed_env_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "verlet")
+        with pytest.raises(UnknownNameError, match=ENGINE_ENV):
+            default_engine()
+
+
+class TestStatsColumns:
+    def test_rows_plain_by_default(self, monkeypatch):
+        from repro.exec.sinks import ROW_FIELDS, row_fields
+
+        monkeypatch.delenv("REPRO_SIM_STATS", raising=False)
+        assert row_fields() == ROW_FIELDS
+
+    def test_stats_columns_when_enabled(self, monkeypatch):
+        from repro.exec.sinks import ROW_FIELDS, STATS_ROW_FIELDS, row_fields
+        from repro.sweeps.runner import SweepRunner
+
+        monkeypatch.setenv("REPRO_SIM_STATS", "1")
+        assert row_fields() == ROW_FIELDS + STATS_ROW_FIELDS
+        runner = SweepRunner(workers=1, cache=None, executor="serial")
+        spec = SweepSpec(
+            clusters=("myrinet",), nprocs=(4,), sizes=(2048,),
+            reps=1, engine="vector",
+        )
+        result = runner.run(spec)
+        fields, rows = result.to_rows()
+        assert fields == ROW_FIELDS + STATS_ROW_FIELDS
+        row = rows[0]
+        assert row["engine"] == "vector"
+        assert row["sim_resolves"] > 0
+        assert row["sim_epochs"] > 0
+        assert row["sim_events"] > 0
+
+    def test_sample_carries_merged_stats(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_STATS", "1")
+        sample = measure_alltoall(
+            get_cluster("myrinet"), 4, 2048, reps=2, engine="fluid"
+        )
+        stats = getattr(sample, "sim_stats", None)
+        assert stats is not None and stats.engine == "fluid"
+        assert stats.resolves > 0
+
+
+class TestCli:
+    def test_list_engines(self, capsys):
+        assert main(["list", "engines"]) == 0
+        out = capsys.readouterr().out
+        assert "fluid" in out and "vector" in out
+
+    def test_sweep_unknown_engine_clean_exit(self, capsys):
+        code = main([
+            "sweep", "--clusters", "myrinet", "--nprocs", "4",
+            "--sizes", "2kB", "--no-cache", "--engine", "verlet",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown engine 'verlet'" in err
+
+    def test_characterize_unknown_engine_clean_exit(self, capsys):
+        assert main(["characterize", "myrinet", "--engine", "verlet"]) == 2
+        assert "unknown engine" in capsys.readouterr().err
+
+    def test_sweep_vector_engine_runs(self, capsys):
+        code = main([
+            "sweep", "--clusters", "myrinet", "--nprocs", "4",
+            "--sizes", "2kB", "--no-cache", "--engine", "vector",
+        ])
+        assert code == 0
+        assert "simulated : 1" in capsys.readouterr().out
+
+    def test_sweep_vector_on_lossy_cluster_clean_error(self, capsys):
+        code = main([
+            "sweep", "--clusters", "gigabit-ethernet", "--nprocs", "4",
+            "--sizes", "2kB", "--no-cache", "--engine", "vector",
+        ])
+        assert code == 1
+        assert "loss overlay" in capsys.readouterr().err
