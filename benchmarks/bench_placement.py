@@ -1,0 +1,104 @@
+"""Bench: placement-optimizer throughput and predicted-MED improvement.
+
+Runs both registered placement optimizers (greedy swap descent,
+simulated annealing) on the edge-core GigE stress fabric under the
+cross-switch ``shift`` workload at n = 16 and n = 64 and writes
+``benchmarks/output/BENCH_placement.json``:
+
+* one leg per (optimizer, n) with its wall-clock, objective
+  evaluations, and evaluations/sec (the search is pure objective
+  arithmetic — no simulation — so this is the cost of the MED
+  matrix-permutation inner loop);
+* the predicted-MED improvement ratio (identity / optimized) per leg.
+
+Every leg must end at or below the identity objective — the built-in
+optimizers cannot regress past their identity start by construction,
+and this bench is the regression net for that invariant.
+
+Runs standalone (``python benchmarks/bench_placement.py``) or under
+pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments.table_placement import SHIFT_OFFSET, stress_scenario
+from repro.placement import optimize_placement
+
+OUTPUT_PATH = Path(__file__).parent / "output" / "BENCH_placement.json"
+
+MSG_SIZE = 524_288
+NPROCS = (16, 64)
+OPTIMIZERS = ("greedy", "anneal")
+#: Annealing budget: enough to reach the n=16 optimum, bounded so the
+#: n=64 leg stays a few seconds of pure numpy.
+ANNEAL_ITERATIONS = 4_000
+
+
+def run_placement_bench(output_path: Path = OUTPUT_PATH) -> dict:
+    """Time both optimizers over the n ladder; write and return the entry."""
+    profile = stress_scenario().profile
+    pattern = {"name": "shift", "params": {"offset": SHIFT_OFFSET}}
+    legs: dict[str, dict] = {}
+    never_regressed = True
+    for n in NPROCS:
+        for optimizer in OPTIMIZERS:
+            params = (
+                {"iterations": ANNEAL_ITERATIONS}
+                if optimizer == "anneal" else None
+            )
+            start = time.perf_counter()
+            result = optimize_placement(
+                profile, n, MSG_SIZE,
+                pattern=pattern, optimizer=optimizer, seed=0, params=params,
+            )
+            elapsed = time.perf_counter() - start
+            if result.objective > result.identity_objective:
+                never_regressed = False  # pragma: no cover - invariant net
+            legs[f"{optimizer}/{n}"] = {
+                "elapsed_s": round(elapsed, 4),
+                "evaluations": result.evaluations,
+                "evaluations_per_sec": round(result.evaluations / elapsed, 1),
+                "identity_objective_s": result.identity_objective,
+                "optimized_objective_s": result.objective,
+                "improvement_ratio": round(result.ratio, 3),
+            }
+    entry = {
+        "bench": "placement_optimizers",
+        "cluster": "edge-core-gige-placed",
+        "pattern": f"shift(offset={SHIFT_OFFSET})",
+        "msg_size": MSG_SIZE,
+        "nprocs": list(NPROCS),
+        "optimizers": list(OPTIMIZERS),
+        "legs": legs,
+        "never_regressed": never_regressed,
+    }
+    output_path.parent.mkdir(parents=True, exist_ok=True)
+    output_path.write_text(json.dumps(entry, indent=2) + "\n")
+    return entry
+
+
+def test_bench_placement():
+    """Pytest entry: optimized <= identity everywhere, real wins at n=16."""
+    entry = run_placement_bench()
+    assert entry["never_regressed"] is True
+    for leg_name, leg in entry["legs"].items():
+        assert leg["optimized_objective_s"] <= leg["identity_objective_s"], leg_name
+        assert leg["evaluations_per_sec"] > 0
+    # The cross-switch shift workload has real avoidable contention:
+    # both optimizers must find a strictly better mapping at n=16.
+    for optimizer in entry["optimizers"]:
+        assert entry["legs"][f"{optimizer}/16"]["improvement_ratio"] > 1.5
+    assert json.loads(OUTPUT_PATH.read_text()) == entry
+    greedy = entry["legs"]["greedy/16"]
+    print(
+        f"\nplacement bench: greedy n=16 {greedy['evaluations_per_sec']} "
+        f"eval/s, {greedy['improvement_ratio']}x predicted improvement"
+    )
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_placement_bench(), indent=2))

@@ -42,11 +42,12 @@ Quickstart
 True
 """
 
-from . import clusters, core, measure, models, registry, simmpi, simnet, sweeps, traffic
+from . import clusters, core, measure, models, placement, registry, simmpi, simnet, sweeps, traffic
 from . import exec as exec_  # noqa: F401 - "exec" shadows the builtin name
 from . import api, engines, scenario
 from ._version import __version__
 from .api import Scenario
+from .placement import PlacementSpec
 from .scenario import ScenarioSpec, WorkloadSpec
 from .traffic import PatternSpec
 from .core import (
@@ -69,6 +70,7 @@ __all__ = [
     "exec",
     "measure",
     "models",
+    "placement",
     "registry",
     "scenario",
     "simmpi",
@@ -80,6 +82,7 @@ __all__ = [
     "ScenarioSpec",
     "WorkloadSpec",
     "PatternSpec",
+    "PlacementSpec",
     "AlltoallPredictor",
     "AlltoallSample",
     "ContentionSignature",

@@ -7,7 +7,40 @@ import json
 from pathlib import Path
 from typing import Callable, Iterable, Mapping, Sequence
 
-__all__ = ["write_csv", "read_csv", "read_rows", "coerce_value", "rows_from_series"]
+__all__ = [
+    "write_csv",
+    "read_csv",
+    "read_rows",
+    "read_sweep_rows",
+    "coerce_value",
+    "rows_from_series",
+    "SWEEP_SCHEMA",
+]
+
+#: Explicit converters for every column the sweep sinks emit
+#: (:data:`repro.exec.sinks.ROW_FIELDS` + the opt-in stats columns).
+#: The point: label-like columns stay textual even when their values
+#: look numeric — a pattern key, a ``placement`` cell like
+#: ``explicit[1,0]`` or a cluster named ``2048`` must never come back
+#: as a number.  :func:`read_sweep_rows` applies the applicable subset.
+SWEEP_SCHEMA: dict[str, Callable[[str], object]] = {
+    "cluster": str,
+    "algorithm": str,
+    "pattern": str,
+    "placement": str,
+    "n_processes": int,
+    "msg_size": int,
+    "seed": int,
+    "reps": int,
+    "mean_time": float,
+    "std_time": float,
+    "cached": int,
+    "error": str,
+    "engine": str,
+    "sim_resolves": int,
+    "sim_epochs": int,
+    "sim_events": int,
+}
 
 
 def write_csv(
@@ -118,6 +151,35 @@ def read_rows(
                 row[column] = coerce_value(value)
         rows.append(row)
     return rows
+
+
+def read_sweep_rows(path: str | Path) -> list[dict[str, object]]:
+    """Read sweep-sink rows back under :data:`SWEEP_SCHEMA` typing.
+
+    Like :func:`read_rows`, but the known sweep columns get their
+    canonical converters, restricted to the columns the file actually
+    has — files from before a column existed (e.g. pre-placement
+    sweeps) read back unchanged rather than failing the schema check.
+    Extra user columns fall through to automatic coercion.
+    """
+    path = Path(path)
+    if path.suffix.lower() == ".jsonl":
+        with path.open() as handle:
+            present = {
+                column
+                for line in handle
+                if line.strip()
+                for column in json.loads(line)
+            }
+    else:
+        with path.open(newline="") as handle:
+            present = set(csv.DictReader(handle).fieldnames or ())
+    schema = {
+        column: convert
+        for column, convert in SWEEP_SCHEMA.items()
+        if column in present
+    }
+    return read_rows(path, schema=schema or None)
 
 
 def rows_from_series(

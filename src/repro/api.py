@@ -38,6 +38,12 @@ from .models import (
     compare_models,
     get_model,
 )
+from .placement import (
+    PlacementResult,
+    PlacementSpec,
+    as_placement,
+    optimize_placement,
+)
 from .registry import (
     ALGORITHMS,
     BACKENDS,
@@ -46,6 +52,8 @@ from .registry import (
     EXECUTORS,
     MODELS,
     PATTERNS,
+    PLACEMENT_OPTIMIZERS,
+    PLACEMENTS,
     TOPOLOGIES,
     register_algorithm,
     register_backend,
@@ -54,6 +62,8 @@ from .registry import (
     register_executor,
     register_model,
     register_pattern,
+    register_placement,
+    register_placement_optimizer,
     register_topology,
 )
 from .scenario import ScenarioSpec, TopologySpec, WorkloadSpec, load_scenario
@@ -71,6 +81,10 @@ __all__ = [
     "WorkloadSpec",
     "PatternSpec",
     "as_pattern",
+    "PlacementSpec",
+    "as_placement",
+    "PlacementResult",
+    "optimize_placement",
     "load_scenario",
     "get_cluster",
     "get_backend",
@@ -82,6 +96,8 @@ __all__ = [
     "list_executors",
     "list_models",
     "list_engines",
+    "list_placements",
+    "list_placement_optimizers",
     "get_model",
     "FittedModel",
     "ModelComparison",
@@ -93,6 +109,8 @@ __all__ = [
     "register_executor",
     "register_model",
     "register_engine",
+    "register_placement",
+    "register_placement_optimizer",
     "TOPOLOGIES",
     "CLUSTERS",
     "ALGORITHMS",
@@ -101,6 +119,8 @@ __all__ = [
     "EXECUTORS",
     "MODELS",
     "ENGINES",
+    "PLACEMENTS",
+    "PLACEMENT_OPTIMIZERS",
 ]
 
 
@@ -142,6 +162,16 @@ def list_models() -> list[str]:
 def list_engines() -> list[str]:
     """Canonical names of all registered simulation engines."""
     return ENGINES.names()
+
+
+def list_placements() -> list[str]:
+    """Canonical names of all registered rank-placement strategies."""
+    return PLACEMENTS.names()
+
+
+def list_placement_optimizers() -> list[str]:
+    """Canonical names of all registered placement optimizers."""
+    return PLACEMENT_OPTIMIZERS.names()
 
 
 class Scenario:
@@ -217,6 +247,7 @@ class Scenario:
         algorithm: str | None = None,
         pattern=None,
         engine: str | None = None,
+        placement=None,
     ) -> AlltoallSample:
         """Measure one All-to-All point (defaults from the workload)."""
         workload = self.spec.workload
@@ -229,6 +260,7 @@ class Scenario:
             algorithm=algorithm if algorithm is not None else self.spec.algorithm,
             pattern=pattern if pattern is not None else workload.pattern,
             engine=engine if engine is not None else self.spec.engine,
+            placement=placement if placement is not None else self.spec.placement,
         )
 
     def sweep_points(self):
@@ -246,6 +278,7 @@ class Scenario:
                 reps=workload.reps,
                 pattern=workload.pattern,
                 engine=self.spec.engine,
+                placement=self.spec.placement,
             )
             for n in workload.nprocs
             for m in workload.sizes
@@ -273,6 +306,38 @@ class Scenario:
             sinks=sinks, progress=progress,
         )
 
+    def optimize_placement(
+        self,
+        n_processes: int | None = None,
+        msg_size: int | None = None,
+        *,
+        optimizer: str = "greedy",
+        seed: int | None = None,
+        params: dict | None = None,
+        pattern=None,
+    ) -> PlacementResult:
+        """Search for a contention-minimising rank→host mapping.
+
+        Runs the registered *optimizer* against the predicted-contention
+        objective (the MED of the placed workload traffic routed over
+        this scenario's fabric; see :mod:`repro.placement.objective`) —
+        no simulation.  Defaults: the workload's fit n′, its largest
+        message size (where contention dominates), its first seed, and
+        its traffic pattern (*pattern* overrides the latter).  Apply the
+        result by re-running with ``placement=result.placement`` (or
+        bake ``result.placement`` into the scenario spec).
+        """
+        workload = self.spec.workload
+        return optimize_placement(
+            self.profile,
+            n_processes if n_processes is not None else workload.fit_nprocs,
+            msg_size if msg_size is not None else max(workload.sizes),
+            pattern=pattern if pattern is not None else workload.pattern,
+            optimizer=optimizer,
+            seed=seed if seed is not None else workload.seeds[0],
+            params=params,
+        )
+
     def fit_signature(self, *, runner=None, force: bool = False, **kwargs) -> Characterization:
         """Run the §8 characterisation on this scenario (cached).
 
@@ -280,7 +345,8 @@ class Scenario:
         (>= 4 sizes required by the paper's regression).  The signature
         is a property of the *network*, so the fit always measures the
         regular All-to-All — a matrix algorithm is lowered to its
-        scalar counterpart and any workload pattern is ignored here.
+        scalar counterpart and any workload pattern or placement is
+        ignored here (the regular exchange is permutation-invariant).
         Extra keyword arguments pass through to
         :func:`~repro.measure.pipeline.characterize_cluster`.
         """
@@ -338,7 +404,8 @@ class Scenario:
         (LogGP, max-rate, knee) need to identify their parameters.  Like
         the signature fit it measures the regular All-to-All: matrix
         algorithms lower to their scalar variant and any workload
-        pattern is ignored (cost models predict the regular exchange).
+        pattern or placement is ignored (cost models predict the
+        regular exchange, which is permutation-invariant).
         """
         if self._grid_samples is None:
             workload = self.spec.workload
@@ -500,9 +567,14 @@ class Scenario:
             if workload.pattern is not None
             else ""
         )
+        placement = (
+            f", placement={self.spec.placement.key()}"
+            if self.spec.placement is not None
+            else ""
+        )
         return (
             f"{self.name} (from {origin}, algorithm={self.spec.algorithm}"
-            f"{pattern}, "
+            f"{pattern}{placement}, "
             f"{len(workload.nprocs)} nprocs x {len(workload.sizes)} sizes x "
             f"{len(workload.seeds)} seeds, reps={workload.reps})"
         )

@@ -57,10 +57,13 @@ def _doc_summary(obj) -> str:
 
 
 #: Sections of ``repro-alltoall list`` (name -> row enumerator).
+#: Enumerators must emit sorted rows (registry ``names()`` already are;
+#: plain dicts like EXPERIMENTS are sorted here) so the listing is
+#: byte-stable across runs regardless of registration order.
 _LIST_SECTIONS = {
     "experiments": lambda: [
         (exp_id, f"{spec.paper_ref:<14} {spec.description}")
-        for exp_id, spec in EXPERIMENTS.items()
+        for exp_id, spec in sorted(EXPERIMENTS.items())
     ],
     "clusters": lambda: [
         (name, api.CLUSTERS.get(name)().description)
@@ -91,14 +94,24 @@ _LIST_SECTIONS = {
         (name, _doc_summary(api.ENGINES.get(name)))
         for name in api.list_engines()
     ],
+    "placements": lambda: [
+        (name, _doc_summary(api.PLACEMENTS.get(name)))
+        for name in api.list_placements()
+    ],
+    "placement-optimizers": lambda: [
+        (name, _doc_summary(api.PLACEMENT_OPTIMIZERS.get(name)))
+        for name in api.list_placement_optimizers()
+    ],
 }
 
 
-def _parse_pattern_arg(text: str):
-    """``name`` or ``name:k=v,k2=v2`` → a pattern dict for SweepSpec.
+def _parse_spec_arg(text: str, kind: str = "pattern"):
+    """``name`` or ``name:k=v,k2=v2`` → a ``{"name", "params"}`` dict.
 
-    Values parse as int, then float, then the booleans, else string —
-    ``hotspot:targets=2,factor=8`` or ``zipf:exponent=1.5``.
+    The shared grammar of ``--pattern`` and ``--placement`` (and the
+    ``--optimizer`` of ``optimize-placement``).  Values parse as int,
+    then float, then the booleans, else string —
+    ``hotspot:targets=2,factor=8`` or ``round-robin:groups=4``.
     """
     name, _, param_part = text.partition(":")
     params = {}
@@ -108,7 +121,7 @@ def _parse_pattern_arg(text: str):
         key, sep, raw = item.partition("=")
         if not sep or not key.strip():
             raise ValueError(
-                f"bad pattern parameter {item!r} (expected key=value)"
+                f"bad {kind} parameter {item!r} (expected key=value)"
             )
         raw = raw.strip()
         value: object
@@ -126,9 +139,22 @@ def _parse_pattern_arg(text: str):
     return {"name": name.strip(), "params": params}
 
 
+def _parse_pattern_arg(text: str):
+    """``--pattern`` value → a pattern dict for SweepSpec."""
+    return _parse_spec_arg(text, "pattern")
+
+
+def _parse_placement_arg(text: str):
+    """``--placement`` value → a placement dict for the spec layer."""
+    return _parse_spec_arg(text, "placement")
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
+    # Sections print alphabetically, not in dict-insertion order, so
+    # the full listing is deterministic and diffs cleanly as new
+    # sections are registered.
     wanted = (
-        list(_LIST_SECTIONS) if args.what in (None, "all") else [args.what]
+        sorted(_LIST_SECTIONS) if args.what in (None, "all") else [args.what]
     )
     for position, section in enumerate(wanted):
         rows = _LIST_SECTIONS[section]()
@@ -158,11 +184,45 @@ def _check_engine(name: "str | None") -> bool:
     return True
 
 
+def _check_placements(values) -> bool:
+    """Validate ``--placement`` strategy names before anything runs.
+
+    Same rationale as :func:`_check_engine`: parameter errors still
+    surface downstream, but an unknown *name* should be a one-line
+    stderr message with exit code 2, not a mid-pipeline failure.
+    """
+    for text in values or ():
+        name = text.partition(":")[0].strip()
+        if name not in api.PLACEMENTS:
+            known = ", ".join(api.list_placements())
+            print(
+                f"unknown placement {name!r}; known: {known}",
+                file=sys.stderr,
+            )
+            return False
+    return True
+
+
 def _with_engine(scenario: "api.Scenario", engine: str) -> "api.Scenario":
     """The scenario with its engine field overridden from the CLI."""
     import dataclasses
 
     return api.Scenario(dataclasses.replace(scenario.spec, engine=engine))
+
+
+def _with_placement(scenario: "api.Scenario", text: str) -> "api.Scenario":
+    """The scenario with its placement overridden from ``--placement``.
+
+    Raises :class:`ValueError` (which :class:`ScenarioError` subclasses)
+    on bad grammar or strategy parameters; callers turn that into
+    exit code 2.
+    """
+    import dataclasses
+
+    from .placement import as_placement
+
+    spec = as_placement(_parse_placement_arg(text))
+    return api.Scenario(dataclasses.replace(scenario.spec, placement=spec))
 
 
 def _resolve_cluster_arg(name: str) -> tuple["api.Scenario", bool]:
@@ -258,8 +318,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     if not _check_engine(args.engine):
         return 2
+    if args.placement and not _check_placements([args.placement]):
+        return 2
     if args.scenario:
         return _run_scenario(args)
+    if args.placement:
+        # Experiments fix their own rank mappings (table_placement
+        # sweeps them internally); only scenario runs take the override.
+        print("--placement needs --scenario FILE", file=sys.stderr)
+        return 2
     if not args.experiment:
         print("run needs an experiment id or --scenario FILE", file=sys.stderr)
         return 2
@@ -287,6 +354,12 @@ def _run_scenario(args: argparse.Namespace) -> int:
         return 2
     if args.engine:
         scenario = _with_engine(scenario, args.engine)
+    if args.placement:
+        try:
+            scenario = _with_placement(scenario, args.placement)
+        except ValueError as exc:  # covers ScenarioError
+            print(f"invalid --placement: {exc}", file=sys.stderr)
+            return 2
     print(f"scenario  : {scenario.describe()}")
     try:
         result = scenario.sweep()
@@ -373,6 +446,78 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     print(f"  prediction : {format_time(float(time))}")
     print(f"  lower bound: {format_time(float(bound))}")
     print(f"  signature  : {signature}")
+    return 0
+
+
+def _cmd_optimize_placement(args: argparse.Namespace) -> int:
+    try:
+        scenario, _ = _resolve_cluster_arg(args.cluster)
+    except (OSError, UnknownNameError, ScenarioError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    optimizer = _parse_spec_arg(args.optimizer, "optimizer")
+    if optimizer["name"] not in api.PLACEMENT_OPTIMIZERS:
+        known = ", ".join(api.list_placement_optimizers())
+        print(
+            f"unknown placement optimizer {optimizer['name']!r}; "
+            f"known: {known}",
+            file=sys.stderr,
+        )
+        return 2
+    pattern = None
+    if args.pattern:
+        if args.pattern.partition(":")[0].strip() not in api.PATTERNS:
+            known = ", ".join(api.list_patterns())
+            print(
+                f"unknown pattern {args.pattern.partition(':')[0]!r}; "
+                f"known: {known}",
+                file=sys.stderr,
+            )
+            return 2
+        pattern = _parse_pattern_arg(args.pattern)
+    try:
+        result = scenario.optimize_placement(
+            args.nprocs,
+            parse_size(args.size) if args.size is not None else None,
+            optimizer=optimizer["name"],
+            seed=args.seed,
+            params=optimizer["params"] or None,
+            pattern=pattern,
+        )
+    except TypeError as exc:
+        # e.g. greedy:iterations=10 — a parameter the optimizer's
+        # signature does not accept.
+        print(f"invalid optimizer parameters: {exc}", file=sys.stderr)
+        return 2
+    except (MeasurementError, ScenarioError, SimulationError, ValueError) as exc:
+        print(f"cannot optimize placement: {exc}", file=sys.stderr)
+        return 1
+    workload = scenario.spec.workload
+    n = args.nprocs if args.nprocs is not None else workload.fit_nprocs
+    print(f"cluster    : {scenario.name}")
+    print(f"optimizer  : {result.optimizer} (seed {result.seed}, "
+          f"{result.evaluations} evaluations)")
+    print(f"identity   : {format_time(result.identity_objective)} "
+          "predicted contention (MED bottleneck)")
+    print(f"optimized  : {format_time(result.objective)}")
+    print(f"ratio      : {result.ratio:.2f}x "
+          f"(avoided {format_time(result.improvement)})")
+    print(f"permutation: {list(result.permutation)}")
+    if result.ratio <= 1.0:
+        # Not an error — uniform all-to-all on any fabric, or any
+        # traffic on a single switch, is placement-invariant.
+        print(
+            f"note       : no placement beats identity for this traffic "
+            f"at n={n}; the mapping above ties it",
+        )
+    if args.json:
+        import json as _json
+        from pathlib import Path
+
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(_json.dumps(result.to_dict(), indent=2) + "\n")
+        print(f"json       : {path}")
     return 0
 
 
@@ -544,12 +689,13 @@ def _scenario_sweep_models(args, scenario, result) -> int:
     samples under the scenario's own profile/ping-pong context."""
     samples = [
         r.sample for r in result.results
-        if r.ok and r.point.pattern is None
+        if r.ok and r.point.pattern is None and r.point.placement is None
     ]
     if not samples:
         print(
-            "model comparison skipped: no successful uniform-pattern "
-            "points (the zoo models predict the regular All-to-All)",
+            "model comparison skipped: no successful uniform-pattern, "
+            "identity-placement points (the zoo models predict the "
+            "regular All-to-All under the default mapping)",
             file=sys.stderr,
         )
         return 0
@@ -575,6 +721,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     if not _check_engine(args.engine):
         return 2
+    if not _check_placements(args.placement):
+        return 2
     cache = None if args.no_cache else ResultCache(
         args.cache_dir or default_cache_dir()
     )
@@ -596,7 +744,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # not a grid axis, so it composes with --scenario sweeps too.
     axis_flags = (
         "clusters", "nprocs", "sizes", "algorithms", "pattern",
-        "seeds", "reps",
+        "placement", "seeds", "reps",
     )
     if args.scenario:
         given = [f"--{f}" for f in axis_flags if getattr(args, f) is not None]
@@ -637,6 +785,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             patterns=(
                 tuple(_parse_pattern_arg(p) for p in args.pattern)
                 if args.pattern
+                else (None,)
+            ),
+            placements=(
+                tuple(_parse_placement_arg(p) for p in args.placement)
+                if args.placement
                 else (None,)
             ),
             seeds=tuple(int(s) for s in _csv_list(args.seeds or "0")),
@@ -729,6 +882,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation engine: fluid (reference, default) or vector "
              "(batched; see `list engines`)",
     )
+    p_run.add_argument(
+        "--placement", default=None, metavar="NAME[:K=V,...]",
+        help="rank→host mapping override for --scenario runs, e.g. "
+             "round-robin:groups=4 (see `list placements`)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_char = sub.add_parser(
@@ -816,6 +974,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.add_argument("msg_size", help="bytes or size string like 256kB")
     p_pred.set_defaults(func=_cmd_predict)
 
+    p_opt = sub.add_parser(
+        "optimize-placement",
+        help="search for a contention-minimising rank→host mapping "
+             "(predicted MED objective, no simulation)",
+    )
+    p_opt.add_argument(
+        "cluster",
+        help="registered cluster name (alias-tolerant) or scenario file",
+    )
+    p_opt.add_argument(
+        "--nprocs", type=int, default=None,
+        help="process count (default: the workload's fit n')",
+    )
+    p_opt.add_argument(
+        "--size", default=None, metavar="SIZE",
+        help="message size, bytes or a string like 256kB (default: the "
+             "workload's largest size)",
+    )
+    p_opt.add_argument(
+        "--pattern", default=None, metavar="NAME[:K=V,...]",
+        help="traffic pattern to optimise for (default: the workload's "
+             "pattern; the uniform All-to-All is placement-invariant)",
+    )
+    p_opt.add_argument(
+        "--optimizer", default="greedy", metavar="NAME[:K=V,...]",
+        help="search strategy, e.g. greedy or anneal:iterations=8000 "
+             "(see `list placement-optimizers`; default: greedy)",
+    )
+    p_opt.add_argument("--seed", type=int, default=None,
+                       help="search seed (default: the workload's first)")
+    p_opt.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="save the search result (objectives, permutation) as JSON",
+    )
+    p_opt.set_defaults(func=_cmd_optimize_placement)
+
     p_sweep = sub.add_parser(
         "sweep",
         help="run a measurement grid on a worker pool with result caching",
@@ -847,6 +1041,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="traffic pattern axis entry, e.g. hotspot:targets=2,factor=8 "
              "(repeatable; default: the uniform regular All-to-All; see "
              "`list patterns`)",
+    )
+    p_sweep.add_argument(
+        "--placement", action="append", default=None, metavar="NAME[:K=V,...]",
+        help="rank→host mapping axis entry, e.g. round-robin:groups=4 "
+             "(repeatable; default: the identity mapping; see "
+             "`list placements`)",
     )
     p_sweep.add_argument(
         "--seeds", default=None, help="comma-separated base seeds (default: 0)"

@@ -35,7 +35,7 @@ __all__ = [
 
 #: Column order of streamed sweep rows (and of ``SweepResult.to_rows``).
 ROW_FIELDS = [
-    "cluster", "algorithm", "pattern", "n_processes", "msg_size",
+    "cluster", "algorithm", "pattern", "placement", "n_processes", "msg_size",
     "seed", "reps", "mean_time", "std_time", "cached", "error",
 ]
 

@@ -122,6 +122,7 @@ def run_task(task: ExecutionTask) -> TaskOutcome:
             algorithm=point.algorithm,
             pattern=point.pattern,
             engine=point.engine,
+            placement=point.placement,
         )
     except Exception as exc:
         return TaskOutcome(

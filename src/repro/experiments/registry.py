@@ -25,6 +25,7 @@ from . import (
     fig13_myrinet_surface,
     fig14_myrinet_error,
     table_model_shootout,
+    table_placement,
     table_signatures,
 )
 
@@ -119,6 +120,12 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "cost-model shootout: Hockney vs contention-signature error "
             "gap, all three networks",
             table_model_shootout.run,
+        ),
+        ExperimentSpec(
+            "tableP", "§4 analysis",
+            "rank placement: avoided vs incurred contention on the "
+            "edge-core GigE stress fabric, predicted and simulated",
+            table_placement.run,
         ),
     ]
 }

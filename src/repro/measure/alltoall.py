@@ -11,6 +11,14 @@ Irregular exchanges: pass ``pattern=`` (a
 the matrix-driven alltoallv rank programs over the pattern's (n, n)
 byte matrix, ``msg_size`` acting as the pattern's scale.  The uniform
 pattern collapses to the legacy scalar path bit-for-bit.
+
+Rank placement: pass ``placement=`` (a
+:class:`~repro.placement.PlacementSpec`, a registered strategy name, a
+dict, or an explicit permutation) and rank *i*'s traffic is routed
+through host ``perm[i]`` instead of host *i* — the one behavioural
+change; RNG streams stay keyed by rank, so a placed run and an identity
+run replay identical draws.  Identity collapses to the legacy
+no-placement path bit-for-bit.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from ..clusters.profiles import ClusterProfile
 from ..core.signature import AlltoallSample
 from ..engines import default_engine
 from ..exceptions import MeasurementError, ScenarioError, UnknownNameError
+from ..placement import apply_placement, as_placement
 from ..registry import ALGORITHMS, ENGINES
 from ..simmpi.collectives import variant_for
 from ..simnet.rng import RngFactory
@@ -69,6 +78,7 @@ def measure_alltoall(
     algorithm: str = "direct",
     pattern=None,
     engine=None,
+    placement=None,
 ) -> AlltoallSample:
     """Measure one (n, m) All-to-All point; returns the averaged sample.
 
@@ -76,6 +86,10 @@ def measure_alltoall(
     pattern's byte matrix through the matching alltoallv program; the
     matrix itself is derived deterministically from
     ``(pattern, n, msg_size, seed)`` and is identical across reps.
+
+    With *placement* set (and not trivially identity), rank traffic is
+    routed through the placed hosts (see :mod:`repro.placement`); the
+    permutation is validated against *n_processes* up front.
 
     *engine* picks the simulation engine (an entry of
     :data:`repro.registry.ENGINES`; ``None`` defers to
@@ -93,6 +107,12 @@ def measure_alltoall(
         raise MeasurementError("reps must be >= 1")
     try:
         pattern = as_pattern(pattern)
+        placement = as_placement(placement)
+        if placement is not None:
+            # Validate eagerly (explicit perms pin their n, strategies
+            # may reject it) instead of mid-simulation in a worker.
+            placement.permutation(n_processes)
+            cluster = apply_placement(cluster, placement)
     except ScenarioError as exc:
         raise MeasurementError(exc.args[0]) from None
     program, stream_tag = _resolve_program(algorithm, pattern)
@@ -174,6 +194,7 @@ def sweep_sizes(
     algorithm: str = "direct",
     pattern=None,
     engine=None,
+    placement=None,
     runner=None,
     scenario=None,
     progress=None,
@@ -198,6 +219,7 @@ def sweep_sizes(
                 reps=reps,
                 pattern=pattern,
                 engine=engine,
+                placement=placement,
             )
             for size in sizes
         ]
@@ -217,6 +239,7 @@ def sweep_grid(
     algorithm: str = "direct",
     pattern=None,
     engine=None,
+    placement=None,
     runner=None,
     scenario=None,
     progress=None,
@@ -239,6 +262,7 @@ def sweep_grid(
                 reps=reps,
                 pattern=pattern,
                 engine=engine,
+                placement=placement,
             )
             for n in n_values
             for size in sizes

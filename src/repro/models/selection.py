@@ -174,8 +174,9 @@ def samples_from_rows(rows, *, cluster: str | None = None) -> list[AlltoallSampl
     """Sweep rows (dicts, e.g. from :func:`repro.analysis.io.read_rows`)
     → :class:`AlltoallSample` list.
 
-    Error rows, rows carrying a non-uniform traffic pattern (the zoo
-    models predict the regular All-to-All) and rows with a missing or
+    Error rows, rows carrying a non-uniform traffic pattern or a
+    non-identity placement (the zoo models predict the regular
+    All-to-All under the default mapping) and rows with a missing or
     non-finite ``mean_time`` are skipped.  With *cluster* set, rows
     labelled with a *different* cluster are dropped; rows with no
     ``cluster`` column at all are trusted as-is (files written by the
@@ -190,6 +191,9 @@ def samples_from_rows(rows, *, cluster: str | None = None) -> list[AlltoallSampl
             continue
         pattern = row.get("pattern")
         if pattern not in (None, "", "uniform"):
+            continue
+        placement = row.get("placement")
+        if placement not in (None, "", "identity"):
             continue
         mean_time = row.get("mean_time")
         if mean_time in (None, ""):

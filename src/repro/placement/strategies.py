@@ -1,0 +1,81 @@
+"""Built-in rank-placement strategies.
+
+A strategy is a pure function ``f(n_processes, **params) -> permutation``
+where rank *i* runs on host ``perm[i]``.  Strategies must be
+deterministic in (n, params) alone — randomised ones take an explicit
+``seed`` parameter and draw from a named RNG stream, never from global
+state — so two processes building the same spec always obtain the same
+mapping.  Add new strategies with ``@repro.api.register_placement``;
+validation (result really is a permutation of ``range(n)``) happens in
+:meth:`~repro.placement.spec.PlacementSpec.permutation`.
+"""
+
+from __future__ import annotations
+
+from ..registry import register_placement
+from ..simnet.rng import RngFactory
+
+__all__ = ["identity", "block", "round_robin", "random_placement"]
+
+
+@register_placement("identity", aliases=("none",))
+def identity(n_processes: int) -> tuple[int, ...]:
+    """Rank *i* on host *i* — the legacy mapping, and the baseline."""
+    return tuple(range(int(n_processes)))
+
+
+@register_placement("block")
+def block(n_processes: int, *, size: int, shift: int = 1) -> tuple[int, ...]:
+    """Rotate contiguous rank blocks of *size* by *shift* block slots.
+
+    Rank ``i`` lands on host ``((i//size + shift) % nblocks)*size +
+    i%size``: block k's ranks move wholesale onto block k+shift's
+    hosts.  With *size* equal to an edge switch's host count this walks
+    whole switch populations around the fabric — the canonical
+    "misaligned job fragments" stressor.  Requires ``size | n``.
+    """
+    n = int(n_processes)
+    size = int(size)
+    if size < 1:
+        raise ValueError("block size must be >= 1")
+    if n % size:
+        raise ValueError(f"block size {size} must divide n={n}")
+    nblocks = n // size
+    step = int(shift) % nblocks
+    return tuple(
+        ((i // size + step) % nblocks) * size + i % size for i in range(n)
+    )
+
+
+@register_placement("round-robin", aliases=("rr", "cyclic"))
+def round_robin(n_processes: int, *, groups: int) -> tuple[int, ...]:
+    """Deal ranks across *groups* host blocks like cards: rank ``i`` →
+    host ``(i % groups) * (n//groups) + i // groups``.
+
+    Ranks congruent mod *groups* end up contiguous — the inverse of a
+    strided communication pattern, so e.g. a ``shift(offset=g)`` pattern
+    becomes entirely block-local under ``round_robin(groups=g)``.
+    Requires ``groups | n``.
+    """
+    n = int(n_processes)
+    groups = int(groups)
+    if groups < 1:
+        raise ValueError("groups must be >= 1")
+    if n % groups:
+        raise ValueError(f"groups {groups} must divide n={n}")
+    width = n // groups
+    return tuple((i % groups) * width + i // groups for i in range(n))
+
+
+@register_placement("random", aliases=("shuffle",))
+def random_placement(n_processes: int, *, seed: int = 0) -> tuple[int, ...]:
+    """Seeded uniform random permutation (the no-information baseline).
+
+    Draws from the ``placement/random/<n>`` stream of an
+    :class:`~repro.simnet.rng.RngFactory` keyed by the explicit *seed*
+    param — bit-identical across processes and independent of the
+    measurement seed.
+    """
+    n = int(n_processes)
+    rng = RngFactory(int(seed)).stream(f"placement/random/{n}")
+    return tuple(int(x) for x in rng.permutation(n))

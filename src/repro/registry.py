@@ -47,6 +47,8 @@ __all__ = [
     "EXECUTORS",
     "MODELS",
     "ENGINES",
+    "PLACEMENTS",
+    "PLACEMENT_OPTIMIZERS",
     "register_topology",
     "register_cluster",
     "register_algorithm",
@@ -55,6 +57,8 @@ __all__ = [
     "register_executor",
     "register_model",
     "register_engine",
+    "register_placement",
+    "register_placement_optimizer",
 ]
 
 T = TypeVar("T")
@@ -258,6 +262,15 @@ MODELS: Registry[Callable] = Registry("model")
 #: measurement point is actually simulated.
 ENGINES: Registry[Callable] = Registry("engine")
 
+#: ``f(n_processes, **params) -> permutation`` rank-placement strategies
+#: (see :mod:`repro.placement`): rank *i* runs on host ``perm[i]``.
+PLACEMENTS: Registry[Callable] = Registry("placement")
+
+#: ``f(evaluate, n_processes, *, rng, **params) -> permutation``
+#: placement-search procedures minimising a predicted-contention
+#: objective (see :mod:`repro.placement.optimize`).
+PLACEMENT_OPTIMIZERS: Registry[Callable] = Registry("placement optimizer")
+
 
 def register_topology(name: str, *, aliases: tuple[str, ...] = (), replace: bool = False):
     """Decorator: register a topology factory ``f(n_hosts, **params)``."""
@@ -299,3 +312,17 @@ def register_engine(name: str, *, aliases: tuple[str, ...] = (), replace: bool =
     """Decorator: register a simulation engine
     ``f(cluster, n_processes, program, run_arg, seed) -> RunResult``."""
     return ENGINES.register(name, aliases=aliases, replace=replace)
+
+
+def register_placement(name: str, *, aliases: tuple[str, ...] = (), replace: bool = False):
+    """Decorator: register a rank-placement strategy
+    ``f(n_processes, **params) -> permutation`` (rank *i* → host ``perm[i]``)."""
+    return PLACEMENTS.register(name, aliases=aliases, replace=replace)
+
+
+def register_placement_optimizer(
+    name: str, *, aliases: tuple[str, ...] = (), replace: bool = False
+):
+    """Decorator: register a placement optimizer
+    ``f(evaluate, n_processes, *, rng, **params) -> permutation``."""
+    return PLACEMENT_OPTIMIZERS.register(name, aliases=aliases, replace=replace)

@@ -39,11 +39,13 @@ from . import models as _models  # noqa: F401 - registers the built-in cost mode
 from .clusters.profiles import ClusterProfile, get_cluster
 from .engines import DEFAULT_ENGINE
 from .exceptions import ScenarioError, UnknownNameError
+from .placement.spec import PlacementSpec, as_placement
 from .registry import (
     ALGORITHMS,
     ENGINES,
     MODELS,
     PATTERNS,
+    PLACEMENTS,
     TOPOLOGIES,
     CLUSTERS as _CLUSTER_REGISTRY,
 )
@@ -233,6 +235,14 @@ class ScenarioSpec:
         the process-wide default and is omitted from serialization and
         cache payloads, so pre-engine scenario files and cache entries
         keep their meaning.
+    placement:
+        Rank→host mapping the workload runs under (a
+        :class:`~repro.placement.PlacementSpec`, a registered strategy
+        name, a ``{"name", "params"}`` / ``{"perm"}`` table, or an
+        explicit permutation list).  Unset — or trivially ``identity``
+        — means the legacy rank *i* on host *i* mapping and is omitted
+        from serialization and cache payloads, so pre-placement
+        scenario files and cache entries keep their meaning.
     workload:
         The measurement grid (see :class:`WorkloadSpec`).
     """
@@ -249,6 +259,7 @@ class ScenarioSpec:
     algorithm: str = "direct"
     model: str = "signature"
     engine: str | None = None
+    placement: PlacementSpec | None = None
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
 
     def __post_init__(self) -> None:
@@ -295,6 +306,9 @@ class ScenarioSpec:
             object.__setattr__(
                 self, "engine", None if engine == DEFAULT_ENGINE else engine
             )
+        # Identity collapses to None: one identity, one serialized
+        # form, one cache payload (as_placement validates the rest).
+        object.__setattr__(self, "placement", as_placement(self.placement))
         try:
             variant_for(
                 self.algorithm, irregular=self.workload.pattern is not None
@@ -407,6 +421,8 @@ class ScenarioSpec:
             out["model"] = self.model
         if self.engine is not None:
             out["engine"] = self.engine
+        if self.placement is not None:
+            out["placement"] = self.placement.to_dict()
         out["workload"] = self.workload.to_dict()
         return out
 
@@ -471,7 +487,9 @@ class ScenarioSpec:
         head = self.to_dict()
         tables = {
             key: head.pop(key, None)
-            for key in ("topology", "transport", "loss", "hol", "workload")
+            for key in (
+                "topology", "transport", "loss", "hol", "placement", "workload"
+            )
         }
         for key, value in head.items():
             lines.append(f"{key} = {_toml_value(value)}")
@@ -512,6 +530,8 @@ class ScenarioSpec:
             objects.append(_CLUSTER_REGISTRY.get(self.base))
         if self.workload.pattern is not None:
             objects.append(PATTERNS.get(self.workload.pattern.name))
+        if self.placement is not None and not self.placement.is_explicit:
+            objects.append(PLACEMENTS.get(self.placement.name))
         return all(
             (getattr(obj, "__module__", "") or "").split(".")[0] == "repro"
             for obj in objects
@@ -542,6 +562,10 @@ class ScenarioSpec:
             # Added only when non-default: pre-engine payloads (and
             # their hashes) stay byte-identical.
             payload["engine"] = self.engine
+        if self.placement is not None:
+            # Same rule: identity placements never appear, so
+            # pre-placement payloads (and their hashes) are untouched.
+            payload["placement"] = self.placement.cache_payload()
         return payload
 
 

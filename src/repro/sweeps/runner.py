@@ -131,6 +131,10 @@ class PointResult:
                 "uniform" if self.point.pattern is None
                 else self.point.pattern.key()
             ),
+            "placement": (
+                "identity" if self.point.placement is None
+                else self.point.placement.key()
+            ),
             "n_processes": self.point.n_processes,
             "msg_size": self.point.msg_size,
             "seed": self.point.seed,
@@ -501,7 +505,7 @@ class SweepRunner:
         """
         if multiprocessing.get_start_method() == "fork":
             return True
-        from ..registry import ALGORITHMS, PATTERNS
+        from ..registry import ALGORITHMS, PATTERNS, PLACEMENTS
 
         objects = [CLUSTERS.get(n) for n in cluster_names]
         objects += [ALGORITHMS.get(p.algorithm) for p in points]
@@ -509,6 +513,11 @@ class SweepRunner:
             PATTERNS.get(p.pattern.name)
             for p in points
             if p.pattern is not None
+        ]
+        objects += [
+            PLACEMENTS.get(p.placement.name)
+            for p in points
+            if p.placement is not None and not p.placement.is_explicit
         ]
         return all(
             (getattr(obj, "__module__", "") or "").split(".")[0] == "repro"

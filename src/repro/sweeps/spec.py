@@ -2,7 +2,7 @@
 
 A :class:`SweepSpec` is the cartesian product
 
-    clusters x nprocs x msg sizes x algorithms x patterns x seeds
+    clusters x nprocs x msg sizes x algorithms x patterns x placements x seeds
 
 with a shared repetition count.  :meth:`SweepSpec.points` expands it into
 :class:`SweepPoint` instances in a deterministic order (clusters outer,
@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from .. import models as _models  # noqa: F401 - registers the built-in cost models
 from ..engines import DEFAULT_ENGINE, default_engine
+from ..placement import PlacementSpec, as_placement
 from ..registry import ALGORITHMS, CLUSTERS, ENGINES, MODELS
 from ..simmpi.collectives import variant_for
 from ..traffic import PatternSpec, as_pattern
@@ -43,6 +44,7 @@ class SweepPoint:
     reps: int
     pattern: PatternSpec | None = None
     engine: str | None = None
+    placement: PlacementSpec | None = None
 
     def __post_init__(self) -> None:
         if self.n_processes < 2:
@@ -53,6 +55,8 @@ class SweepPoint:
             raise ValueError("reps must be >= 1")
         # Uniform canonicalises to None: one identity, one cache key.
         object.__setattr__(self, "pattern", as_pattern(self.pattern))
+        # Identity placement likewise collapses to None.
+        object.__setattr__(self, "placement", as_placement(self.placement))
         # Engine resolves eagerly (None -> process default), so a
         # REPRO_SIM_ENGINE override participates in cache keys instead
         # of silently aliasing the default engine's entries.
@@ -79,6 +83,9 @@ class SweepPoint:
             # Default-engine points keep the historical payload exactly,
             # so introducing the engine axis never invalidated caches.
             payload["engine"] = self.engine
+        if self.placement is not None:
+            # Same rule: identity placements never appear in payloads.
+            payload["placement"] = self.placement.cache_payload()
         return payload
 
 
@@ -99,6 +106,12 @@ class SweepSpec:
         Traffic patterns (``None``/names/dicts/specs; entries of
         :data:`repro.registry.PATTERNS`).  Defaults to the single
         legacy uniform exchange.
+    placements:
+        Rank→host mappings (``None``/names/dicts/permutations/specs;
+        entries of :data:`repro.registry.PLACEMENTS`).  Defaults to the
+        single legacy identity mapping, whose points carry no placement
+        in their cache keys (so pre-placement cache entries stay valid
+        and identity sweeps hit them bit-for-bit).
     seeds:
         Base seeds; each seed yields an independent replication of the
         whole grid (per-point streams are further derived by name, see
@@ -123,6 +136,7 @@ class SweepSpec:
     sizes: tuple[int, ...]
     algorithms: tuple[str, ...] = ("direct",)
     patterns: tuple = (None,)
+    placements: tuple = (None,)
     seeds: tuple[int, ...] = (0,)
     reps: int = 3
     models: tuple[str, ...] = ()
@@ -172,6 +186,15 @@ class SweepSpec:
             for pattern in self.patterns:
                 # Reject (algorithm, pattern) combos with no rank program.
                 variant_for(algorithm, irregular=pattern is not None)
+        if not isinstance(self.placements, (tuple, list)):
+            raise ValueError(
+                "placements must be a tuple of placement specs/names"
+            )
+        object.__setattr__(
+            self, "placements", tuple(as_placement(p) for p in self.placements)
+        )
+        if not self.placements:
+            raise ValueError("every sweep axis needs at least one value")
         if self.reps < 1:
             raise ValueError("reps must be >= 1")
         unknown_models = [m for m in self.models if m not in MODELS]
@@ -199,7 +222,8 @@ class SweepSpec:
         """Grid cardinality."""
         return (
             len(self.clusters) * len(self.nprocs) * len(self.sizes)
-            * len(self.algorithms) * len(self.patterns) * len(self.seeds)
+            * len(self.algorithms) * len(self.patterns)
+            * len(self.placements) * len(self.seeds)
         )
 
     def points(self) -> list[SweepPoint]:
@@ -214,10 +238,12 @@ class SweepSpec:
                 reps=self.reps,
                 pattern=pattern,
                 engine=self.engine,
+                placement=placement,
             )
-            for cluster, n, m, algorithm, pattern, seed in itertools.product(
+            for cluster, n, m, algorithm, pattern, placement, seed
+            in itertools.product(
                 self.clusters, self.nprocs, self.sizes,
-                self.algorithms, self.patterns, self.seeds,
+                self.algorithms, self.patterns, self.placements, self.seeds,
             )
         ]
 
@@ -228,9 +254,15 @@ class SweepSpec:
             if self.patterns != (None,)
             else ""
         )
+        placement_part = (
+            f"{len(self.placements)} placements x "
+            if self.placements != (None,)
+            else ""
+        )
         return (
             f"{self.n_points} points "
             f"({len(self.clusters)} clusters x {len(self.nprocs)} nprocs x "
             f"{len(self.sizes)} sizes x {len(self.algorithms)} algorithms x "
-            f"{pattern_part}{len(self.seeds)} seeds, reps={self.reps})"
+            f"{pattern_part}{placement_part}{len(self.seeds)} seeds, "
+            f"reps={self.reps})"
         )

@@ -9,7 +9,9 @@ from repro.experiments.common import ExperimentResult, resolve_scale
 
 class TestRegistry:
     def test_all_figures_registered(self):
-        expected = {f"fig{i:02d}" for i in range(2, 15)} | {"tableS", "tableM"}
+        expected = {f"fig{i:02d}" for i in range(2, 15)} | {
+            "tableS", "tableM", "tableP",
+        }
         assert set(EXPERIMENTS) == expected
 
     def test_unknown_experiment_rejected(self):
