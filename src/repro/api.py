@@ -248,8 +248,15 @@ class Scenario:
         pattern=None,
         engine: str | None = None,
         placement=None,
+        metrics: bool = False,
     ) -> AlltoallSample:
-        """Measure one All-to-All point (defaults from the workload)."""
+        """Measure one All-to-All point (defaults from the workload).
+
+        With ``metrics=True`` the first repetition runs instrumented
+        and the returned sample carries an ``observed`` attribute (a
+        :class:`repro.obs.Observation`: trace, per-link timeline, and
+        the MED contention report).
+        """
         workload = self.spec.workload
         return measure_alltoall(
             self.profile,
@@ -261,7 +268,40 @@ class Scenario:
             pattern=pattern if pattern is not None else workload.pattern,
             engine=engine if engine is not None else self.spec.engine,
             placement=placement if placement is not None else self.spec.placement,
+            observe=metrics,
         )
+
+    def trace(
+        self,
+        n_processes: int | None = None,
+        msg_size: int | None = None,
+        *,
+        seed: int | None = None,
+        algorithm: str | None = None,
+        pattern=None,
+        engine: str | None = None,
+        placement=None,
+    ):
+        """Observe one instrumented run; returns a :class:`repro.obs.Observation`.
+
+        A single repetition with full tracing: the structured event
+        trace (exportable to Chrome/Perfetto or JSONL via
+        ``observation.export(path, fmt)``), the per-link utilization
+        timeline, and the observed-vs-MED contention report.  Defaults
+        come from the workload, as in :meth:`measure`.
+        """
+        sample = self.measure(
+            n_processes,
+            msg_size,
+            reps=1,
+            seed=seed,
+            algorithm=algorithm,
+            pattern=pattern,
+            engine=engine,
+            placement=placement,
+            metrics=True,
+        )
+        return sample.observed
 
     def sweep_points(self):
         """The workload grid as sweep points (nprocs x sizes x seeds)."""

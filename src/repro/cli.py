@@ -32,6 +32,12 @@ pool with result caching, streaming rows as points complete::
         --workers 4 --executor process --progress \
         --cache-dir ~/.cache/repro-alltoall/sweeps \
         --csv out/sweep.csv --output out/sweep.jsonl
+
+Trace one instrumented run and export it for Perfetto /
+``chrome://tracing`` (``--format jsonl`` for the archival form)::
+
+    python -m repro.cli trace gigabit-ethernet --nprocs 8 --size 32kB \
+        --format chrome --out out/trace.json
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ import argparse
 import sys
 
 from . import api, __version__
+from .obs.export import EXPORT_FORMATS
 from .exceptions import (
     FittingError,
     MeasurementError,
@@ -101,6 +108,10 @@ _LIST_SECTIONS = {
     "placement-optimizers": lambda: [
         (name, _doc_summary(api.PLACEMENT_OPTIMIZERS.get(name)))
         for name in api.list_placement_optimizers()
+    ],
+    "trace-formats": lambda: [
+        (name, _doc_summary(fn))
+        for name, fn in sorted(EXPORT_FORMATS.items())
     ],
 }
 
@@ -256,6 +267,11 @@ def _print_sweep_summary(result, *, csv=None, jsonl=None, streamed=()) -> None:
     """
     print(f"simulated : {result.n_simulated}")
     print(f"cached    : {result.n_cached}")
+    if result.n_points:
+        print(
+            f"hit rate  : {result.hit_rate:.0%} "
+            f"({result.n_cached}/{result.n_points} points from cache)"
+        )
     if result.n_failed:
         print(f"failed    : {result.n_failed}")
     print(f"elapsed   : {result.elapsed:.2f} s")
@@ -716,6 +732,46 @@ def _scenario_sweep_models(args, scenario, result) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if not _check_engine(args.engine):
+        return 2
+    try:
+        scenario, _ = _resolve_cluster_arg(args.cluster)
+    except (OSError, UnknownNameError, ScenarioError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        size = parse_size(args.size) if args.size is not None else None
+    except ValueError as exc:
+        print(f"invalid --size: {exc}", file=sys.stderr)
+        return 2
+    try:
+        observation = scenario.trace(
+            args.nprocs,
+            size,
+            seed=args.seed,
+            algorithm=args.algorithm,
+            engine=args.engine,
+        )
+    except (MeasurementError, ScenarioError, SimulationError) as exc:
+        print(f"trace failed: {exc}", file=sys.stderr)
+        return 1
+    # Without --out the serialized trace goes to stdout, so the
+    # human-readable summary moves to stderr to keep stdout parseable.
+    info = sys.stdout if args.out else sys.stderr
+    print(f"cluster   : {scenario.name}", file=info)
+    print(observation.render(args.top), file=info)
+    if args.out:
+        path = observation.export(args.out, args.format)
+        print(f"trace     : {path} ({args.format})", file=info)
+    else:
+        document = EXPORT_FORMATS[args.format](observation.trace)
+        sys.stdout.write(document)
+        if not document.endswith("\n"):
+            sys.stdout.write("\n")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .sweeps import ResultCache, SweepRunner, SweepSpec, default_cache_dir
 
@@ -768,6 +824,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"workers   : {runner.workers} ({runner.executor_name} executor)")
         print(f"cache     : {cache.root if cache is not None else 'disabled'}")
         _print_sweep_summary(result, streamed=streamed)
+        if args.profile:
+            print(result.profile().render())
         if args.models:
             code = _scenario_sweep_models(args, scenario, result)
             if code:
@@ -820,6 +878,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"workers   : {runner.workers} ({runner.executor_name} executor)")
     print(f"cache     : {cache.root if cache is not None else 'disabled'}")
     _print_sweep_summary(result, streamed=streamed)
+    if args.profile:
+        print(result.profile().render())
     if spec.models and not result.comparisons:
         print(
             "model comparison skipped: no successful uniform-pattern "
@@ -1010,6 +1070,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_opt.set_defaults(func=_cmd_optimize_placement)
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one instrumented simulation and export its trace "
+             "(Chrome/Perfetto JSON or JSONL) plus a contention report",
+    )
+    p_trace.add_argument(
+        "cluster",
+        help="registered cluster name (alias-tolerant) or scenario file",
+    )
+    p_trace.add_argument(
+        "--nprocs", type=int, default=None,
+        help="process count (default: the workload's fit n')",
+    )
+    p_trace.add_argument(
+        "--size", default=None, metavar="SIZE",
+        help="message size, bytes or a string like 256kB (default: the "
+             "workload's first size)",
+    )
+    p_trace.add_argument(
+        "--algorithm", default=None, metavar="NAME",
+        help="All-to-All algorithm (default: the scenario's; see "
+             "`list algorithms`)",
+    )
+    p_trace.add_argument(
+        "--engine", default=None, metavar="NAME",
+        help="simulation engine: fluid (reference, default) or vector "
+             "(batched; see `list engines`)",
+    )
+    p_trace.add_argument("--seed", type=int, default=None)
+    p_trace.add_argument(
+        "--format", default="chrome", choices=sorted(EXPORT_FORMATS),
+        help="export format (default: chrome; see `list trace-formats`)",
+    )
+    p_trace.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the trace document to FILE (default: stdout, with "
+             "the summary on stderr)",
+    )
+    p_trace.add_argument(
+        "--top", type=int, default=5,
+        help="bottleneck links shown in the contention report (default: 5)",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
+
     p_sweep = sub.add_parser(
         "sweep",
         help="run a measurement grid on a worker pool with result caching",
@@ -1088,6 +1192,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--progress", action="store_true",
         help="print one line per completed point to stderr",
+    )
+    p_sweep.add_argument(
+        "--profile", action="store_true",
+        help="print a timing/cache profile after the summary (in-worker "
+             "simulation seconds, executor overhead, slowest points)",
     )
     p_sweep.add_argument(
         "--cache-dir", default=None,

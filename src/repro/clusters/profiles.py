@@ -97,13 +97,15 @@ class ClusterProfile:
         *,
         seed: int = 0,
         trace=None,
+        timeline=None,
         start_skew_scale: float | None = None,
     ) -> Runtime:
         """Create a fresh MPI runtime with *nprocs* ranks on this cluster.
 
         *start_skew_scale* overrides the profile's collective-entry skew
         (ping-pong measurements pass 0: a steady-state message exchange
-        amortises job start skew away).
+        amortises job start skew away).  *timeline* is an optional
+        per-link collector (:class:`repro.obs.LinkTimeline`).
         """
         skew = self.start_skew_scale if start_skew_scale is None else start_skew_scale
         return Runtime(
@@ -115,6 +117,7 @@ class ClusterProfile:
             start_skew_scale=skew,
             seed=seed,
             trace=trace,
+            timeline=timeline,
         )
 
     def with_overrides(self, **kwargs) -> "ClusterProfile":

@@ -56,15 +56,29 @@ ENGINE_ENV = "REPRO_SIM_ENGINE"
 
 
 @register_engine("fluid", aliases=("reference", "event-driven"))
-def run_fluid(cluster, n_processes, program, run_arg, seed):
-    """Reference event-driven engine (generator runtime + fluid network)."""
-    runtime = cluster.runtime(n_processes, seed=seed)
+def run_fluid(cluster, n_processes, program, run_arg, seed, *,
+              trace=None, timeline=None):
+    """Reference event-driven engine (generator runtime + fluid network).
+
+    *trace* / *timeline* are the opt-in observability hooks (see
+    :mod:`repro.obs`); both default to off and the default call shape
+    is unchanged for registry users.
+    """
+    runtime = cluster.runtime(
+        n_processes, seed=seed, trace=trace, timeline=timeline
+    )
     return runtime.run(program, run_arg)
 
 
 @register_engine("vector", aliases=("batched",))
-def run_vector(cluster, n_processes, program, run_arg, seed):
-    """Batched engine: lower to a phase schedule, advance flows in epochs."""
+def run_vector(cluster, n_processes, program, run_arg, seed, *,
+               trace=None, timeline=None):
+    """Batched engine: lower to a phase schedule, advance flows in epochs.
+
+    Same opt-in *trace* / *timeline* hooks as the fluid engine; the
+    vector engine additionally emits ``vector.epoch`` /
+    ``vector.phase`` records when tracing.
+    """
     lowered = lower_program(program, n_processes, run_arg)
     simulator = VectorSimulator(
         cluster.topology(n_processes),
@@ -74,6 +88,8 @@ def run_vector(cluster, n_processes, program, run_arg, seed):
         hol_penalty=cluster.hol,
         start_skew_scale=cluster.start_skew_scale,
         seed=seed,
+        trace=trace,
+        timeline=timeline,
     )
     return simulator.run(lowered)
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import functools
 import json
+import time
 import traceback as _tb
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -65,7 +66,13 @@ class ExecutionTask:
 
 @dataclass(frozen=True)
 class TaskOutcome:
-    """What happened to one task: a sample, or an isolated failure."""
+    """What happened to one task: a sample, or an isolated failure.
+
+    ``elapsed`` is the in-worker wall time of this task's final attempt
+    (profile rebuild + simulation), measured where the work actually
+    ran — it crosses process boundaries as a plain float and feeds the
+    sweep profiling layer (:class:`repro.obs.SweepProfile`).
+    """
 
     index: int
     sample: AlltoallSample | None = None
@@ -73,6 +80,7 @@ class TaskOutcome:
     error_type: str | None = None
     traceback: str | None = None
     attempts: int = 1
+    elapsed: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -111,6 +119,7 @@ def run_task(task: ExecutionTask) -> TaskOutcome:
     point failures are isolated.
     """
     point = task.point
+    start = time.perf_counter()
     try:
         cluster = _cluster_for(task)
         sample = measure_alltoall(
@@ -130,5 +139,8 @@ def run_task(task: ExecutionTask) -> TaskOutcome:
             error=str(exc) or type(exc).__name__,
             error_type=type(exc).__name__,
             traceback=_tb.format_exc(),
+            elapsed=time.perf_counter() - start,
         )
-    return TaskOutcome(index=task.index, sample=sample)
+    return TaskOutcome(
+        index=task.index, sample=sample, elapsed=time.perf_counter() - start
+    )

@@ -79,6 +79,7 @@ def measure_alltoall(
     pattern=None,
     engine=None,
     placement=None,
+    observe: bool = False,
 ) -> AlltoallSample:
     """Measure one (n, m) All-to-All point; returns the averaged sample.
 
@@ -98,6 +99,15 @@ def measure_alltoall(
     When ``REPRO_SIM_STATS`` is truthy the returned sample carries a
     ``sim_stats`` attribute (a :class:`~repro.simnet.stats.SimStats`
     summed over reps).
+
+    With ``observe=True`` the **first repetition** runs instrumented —
+    a recording :class:`~repro.simnet.trace.Trace` and a per-link
+    :class:`~repro.obs.LinkTimeline` — and the sample carries an
+    ``observed`` attribute (a :class:`~repro.obs.Observation`: trace,
+    timeline, and the MED :class:`~repro.obs.ContentionReport`).  Like
+    ``sim_stats`` this is an opt-in rider: it never enters cache
+    payloads, and observation does not perturb timings or RNG draws
+    (the instrumented rep replays the same seed).
     """
     if n_processes < 2:
         raise MeasurementError("All-to-All needs at least two processes")
@@ -142,11 +152,31 @@ def measure_alltoall(
     engine_name, engine_fn = _resolve_engine(engine)
     collect_stats = stats_enabled()
     merged_stats = None
+    obs_trace = obs_timeline = obs_topology = None
+    if observe:
+        from ..obs import LinkTimeline
+        from ..simnet.trace import Trace
+
+        obs_topology = cluster.topology(n_processes)
+        obs_trace = Trace()
+        obs_timeline = LinkTimeline.for_topology(obs_topology)
     factory = RngFactory(seed)
     times = np.empty(reps)
     for rep in range(reps):
         rep_seed = factory.child(f"{stream_prefix}/{rep}").seed
-        result = engine_fn(cluster, n_processes, program, run_arg, rep_seed)
+        if observe and rep == 0:
+            try:
+                result = engine_fn(
+                    cluster, n_processes, program, run_arg, rep_seed,
+                    trace=obs_trace, timeline=obs_timeline,
+                )
+            except TypeError as exc:
+                raise MeasurementError(
+                    f"engine {engine_name!r} does not support observation "
+                    f"(trace=/timeline= keyword arguments): {exc}"
+                ) from None
+        else:
+            result = engine_fn(cluster, n_processes, program, run_arg, rep_seed)
         times[rep] = result.duration
         if collect_stats and result.stats is not None:
             merged_stats = (
@@ -163,6 +193,23 @@ def measure_alltoall(
     if merged_stats is not None:
         # Opt-in observability rider; never enters cache payloads.
         object.__setattr__(sample, "sim_stats", merged_stats)
+    if observe:
+        from ..obs import ContentionReport, Observation
+
+        if pattern is None:
+            matrix = np.full((n_processes, n_processes), int(msg_size))
+            np.fill_diagonal(matrix, 0)
+        observation = Observation(
+            engine=engine_name,
+            duration=float(times[0]),
+            trace=obs_trace,
+            timeline=obs_timeline,
+            report=ContentionReport.from_timeline(
+                obs_timeline, obs_topology, matrix
+            ),
+        )
+        # Same rider pattern as sim_stats: opt-in, cache-invisible.
+        object.__setattr__(sample, "observed", observation)
     return sample
 
 

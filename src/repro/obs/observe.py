@@ -1,0 +1,47 @@
+"""One observed simulation run: trace + timeline + contention report.
+
+An :class:`Observation` is what the instrumented measurement path
+(``measure_alltoall(..., observe=True)``, ``Scenario.trace()``) hands
+back: the full structured trace of the first repetition, the per-link
+:class:`~repro.obs.timeline.LinkTimeline` it fed, and the
+:class:`~repro.obs.contention.ContentionReport` comparing observed
+peaks against the MED prediction.  Purely a value object — exporting
+and rendering delegate to :mod:`repro.obs.export` and the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..simnet.trace import Trace
+from .contention import ContentionReport
+from .export import write_trace
+from .timeline import LinkTimeline
+
+__all__ = ["Observation"]
+
+
+@dataclass
+class Observation:
+    """Everything observed about one simulated collective."""
+
+    engine: str
+    duration: float
+    trace: Trace
+    timeline: LinkTimeline
+    report: ContentionReport
+
+    def export(self, path: str | Path, fmt: str = "chrome") -> Path:
+        """Write the trace to *path* (see :func:`repro.obs.write_trace`)."""
+        return write_trace(self.trace, path, fmt)
+
+    def render(self, top: int = 5) -> str:
+        """Human-readable run summary + bottleneck table."""
+        header = (
+            f"engine    : {self.engine}\n"
+            f"duration  : {self.duration:.6g} s\n"
+            f"records   : {len(self.trace)} trace events, "
+            f"{self.timeline.n_samples} timeline samples"
+        )
+        return header + "\n" + self.report.render(top)

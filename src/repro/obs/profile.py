@@ -1,0 +1,108 @@
+"""Sweep profiling: where a sweep's wall-time actually went.
+
+The sweep engine measures per-point in-worker wall time
+(``TaskOutcome.elapsed`` → ``PointResult.elapsed``) and the execution
+phase's wall time; :class:`SweepProfile` condenses those into the
+numbers an operator cares about: cache effectiveness, in-worker
+simulation seconds vs end-to-end wall, executor queue/IPC overhead,
+retries, and the slowest points.  Pure post-processing — building a
+profile never re-runs anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sweeps.runner import SweepResult
+
+__all__ = ["SweepProfile"]
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.2f} s"
+    return f"{value * 1e3:.1f} ms"
+
+
+@dataclass(frozen=True)
+class SweepProfile:
+    """Aggregated timing/cache profile of one finished sweep."""
+
+    n_points: int
+    n_cached: int
+    n_simulated: int
+    n_failed: int
+    elapsed: float  #: end-to-end wall time of the sweep
+    exec_elapsed: float  #: wall time of the execution (cache-miss) phase
+    sim_time: float  #: summed in-worker seconds across simulated points
+    workers: int
+    retries: int  #: extra attempts beyond the first, summed
+    slowest: tuple = field(default_factory=tuple)  #: (label, seconds) pairs
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of points served from the cache."""
+        return self.n_cached / self.n_points if self.n_points else 0.0
+
+    @property
+    def queue_overhead(self) -> float:
+        """Execution wall time not accounted for by simulation itself.
+
+        With *w* workers, ``sim_time / w`` is the ideal execution wall;
+        anything above that is scheduling, IPC, pickling and imbalance.
+        Clamped at zero (timer noise on near-empty sweeps).
+        """
+        ideal = self.sim_time / self.workers if self.workers else self.sim_time
+        return max(self.exec_elapsed - ideal, 0.0)
+
+    @classmethod
+    def from_result(
+        cls, result: "SweepResult", *, slowest: int = 3
+    ) -> "SweepProfile":
+        """Profile a finished :class:`~repro.sweeps.SweepResult`."""
+        simulated = [r for r in result.results if not r.cached and r.ok]
+        timed = sorted(simulated, key=lambda r: -r.elapsed)[: max(slowest, 0)]
+        labels = tuple(
+            (
+                f"{r.point.cluster} {r.point.algorithm} "
+                f"n={r.point.n_processes} m={r.point.msg_size}",
+                r.elapsed,
+            )
+            for r in timed
+            if r.elapsed > 0
+        )
+        return cls(
+            n_points=result.n_points,
+            n_cached=result.n_cached,
+            n_simulated=result.n_simulated,
+            n_failed=result.n_failed,
+            elapsed=result.elapsed,
+            exec_elapsed=result.exec_elapsed,
+            sim_time=sum(r.elapsed for r in simulated),
+            workers=result.workers,
+            retries=sum(max(r.attempts - 1, 0) for r in result.results),
+            slowest=labels,
+        )
+
+    def render(self) -> str:
+        """The ``sweep --profile`` summary block."""
+        lines = [
+            f"profile   : {self.n_points} points in "
+            f"{_fmt_seconds(self.elapsed)} wall "
+            f"({self.workers} worker{'s' if self.workers != 1 else ''})",
+            f"  cache   : {self.n_cached} hit / "
+            f"{self.n_simulated + self.n_failed} miss "
+            f"({self.hit_rate:.0%} hit rate)",
+            f"  sim     : {_fmt_seconds(self.sim_time)} in-worker across "
+            f"{self.n_simulated} simulated point"
+            f"{'s' if self.n_simulated != 1 else ''}",
+            f"  overhead: {_fmt_seconds(self.queue_overhead)} executor "
+            f"queue/IPC (exec wall {_fmt_seconds(self.exec_elapsed)})",
+        ]
+        if self.retries:
+            lines.append(f"  retries : {self.retries}")
+        for label, seconds in self.slowest:
+            lines.append(f"  slowest : {label}  {_fmt_seconds(seconds)}")
+        return "\n".join(lines)

@@ -213,6 +213,9 @@ class Runtime:
         Root seed; all stochastic behaviour derives from it.
     trace:
         Optional structured trace shared with the fluid layer.
+    timeline:
+        Optional per-link collector handed to the fluid network (see
+        :class:`repro.obs.LinkTimeline`).
     """
 
     def __init__(
@@ -226,6 +229,7 @@ class Runtime:
         start_skew_scale: float = 0.0,
         seed: int = 0,
         trace: Trace | None = None,
+        timeline=None,
     ) -> None:
         self.nprocs = topology.n_hosts if nprocs is None else int(nprocs)
         if self.nprocs < 1:
@@ -251,6 +255,7 @@ class Runtime:
             hol_penalty=hol_penalty,
             rng=rng_factory.stream("net/loss"),
             trace=self.trace,
+            timeline=timeline,
         )
         self._ranks = [_RankState() for _ in range(self.nprocs)]
         self._contexts = [RankContext(self, r) for r in range(self.nprocs)]

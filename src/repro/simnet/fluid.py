@@ -155,6 +155,10 @@ class FluidNetwork:
         Generator for the loss process (required when losses enabled).
     trace:
         Optional structured trace.
+    timeline:
+        Optional :class:`~repro.obs.timeline.LinkTimeline` (or anything
+        with its ``record_active(now, paths, rates)`` shape) fed on
+        every allocation resolve; ``None`` (default) records nothing.
     """
 
     def __init__(
@@ -166,10 +170,12 @@ class FluidNetwork:
         hol_penalty: HolPenalty | None = None,
         rng: np.random.Generator | None = None,
         trace: Trace | None = None,
+        timeline=None,
     ) -> None:
         self.engine = engine
         self.topology = topology
         self.trace = trace if trace is not None else NullTrace()
+        self._timeline = timeline
         self._capacities = np.asarray(topology.capacities(), dtype=np.float64)
         self._fid = itertools.count()
         if hol_penalty is not None and hol_penalty.enabled:
@@ -419,6 +425,13 @@ class FluidNetwork:
                 self._hazards = np.zeros(len(self._slot_flows))
         else:
             self._hazards = np.empty(0)
+
+        if self._timeline is not None:
+            self._timeline.record_active(
+                self.engine.now,
+                self._paths if self._slot_flows else None,
+                self._rates,
+            )
 
         self._schedule_completion()
         self._schedule_loss()

@@ -24,6 +24,14 @@ replays the reference runtime's arithmetic event for event on the same
 the two engines agree to floating-point roundoff; the fluid engine
 remains the correctness oracle (see ``repro.engines``).
 
+Observability: pass ``trace=`` to record ``flow.inject`` /
+``flow.complete`` (same categories as the fluid engine) plus the
+vector-specific ``vector.epoch`` (one per resolve, with the active-set
+size) and ``vector.phase`` (one per posted schedule segment) records;
+pass ``timeline=`` (a :class:`~repro.obs.timeline.LinkTimeline`) to
+collect per-link concurrency/bandwidth.  Both default to off with zero
+overhead.
+
 Not supported: the TCP loss overlay (stalls reintroduce per-flow state
 transitions; profiles with losses enabled are rejected — override
 ``loss=None`` to compare engines) and programs that cannot be lowered
@@ -48,7 +56,7 @@ from .resources import SerialResource
 from .rng import RngFactory
 from .stats import SimStats
 from .topology import Topology
-from .trace import NullTrace
+from .trace import NullTrace, Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
     from ..simmpi.lowering import LoweredProgram
@@ -134,6 +142,8 @@ class VectorSimulator:
         hol_penalty: HolPenalty | None = None,
         start_skew_scale: float = 0.0,
         seed: int = 0,
+        trace: Trace | None = None,
+        timeline=None,
     ) -> None:
         self.nprocs = topology.n_hosts if nprocs is None else int(nprocs)
         if self.nprocs < 1:
@@ -152,6 +162,10 @@ class VectorSimulator:
             raise ValueError("start_skew_scale must be >= 0")
         self.topology = topology
         self.transport = transport
+        self.trace = trace if trace is not None else NullTrace()
+        self._tracing = self.trace.enabled
+        self._timeline = timeline
+        self._inject_time: dict[int, float] = {}
         self.engine = Engine()
         rng_factory = RngFactory(seed)
         self._jitter_rng = rng_factory.stream("mpi/jitter")
@@ -323,7 +337,7 @@ class VectorSimulator:
             flows_completed=self.flows_completed,
             total_losses=0,
             max_concurrent_flows=self.max_concurrent,
-            trace=NullTrace(),
+            trace=self.trace,
             stats=SimStats(
                 engine="vector",
                 resolves=self.resolves,
@@ -338,6 +352,11 @@ class VectorSimulator:
         segments = self._segments[rank]
         while True:
             segment = segments[state.next_segment]
+            if self._tracing:
+                self.trace.emit(
+                    self.engine.now, "vector.phase", rank=rank,
+                    segment=state.next_segment, ops=len(segment.ops),
+                )
             state.next_segment += 1
             for op in segment.ops:
                 kind = op[0]
@@ -478,6 +497,13 @@ class VectorSimulator:
         self._pending.append(mid)
         self._inbound_open[self._msg_dst[mid]] += 1
         self._outbound_open[self._msg_src[mid]] += 1
+        if self._tracing:
+            self._inject_time[mid] = self.engine.now
+            self.trace.emit(
+                self.engine.now, "flow.inject", fid=mid,
+                src=self._msg_src[mid], dst=self._msg_dst[mid],
+                nbytes=self._msg_nbytes[mid], label="",
+            )
         if self._resolve_event is None or self._resolve_event.cancelled:
             self._resolve_event = self.engine.schedule(
                 self.engine.now, self._resolve, priority=_RESOLVE_PRIORITY
@@ -515,6 +541,15 @@ class VectorSimulator:
                 self._act_mids = self._act_mids[keep]
                 self._act_remaining = self._act_remaining[keep]
                 self._structure_dirty = True
+                if self._tracing:
+                    for mid in finished:
+                        mid = int(mid)
+                        start = self._inject_time.pop(mid, now)
+                        self.trace.emit(
+                            now, "flow.complete", fid=mid,
+                            src=self._msg_src[mid], dst=self._msg_dst[mid],
+                            duration=now - start, losses=0, label="",
+                        )
 
         if self._structure_dirty:
             if self._pending:
@@ -528,6 +563,7 @@ class VectorSimulator:
             self.max_concurrent = max(self.max_concurrent, len(self._act_mids))
 
         n_active = len(self._act_mids)
+        paths = None
         if n_active:
             paths = self._active_paths()
             capacities = self._capacities
@@ -544,6 +580,14 @@ class VectorSimulator:
             self._act_rates = alloc.rates
         else:
             self._act_rates = np.empty(0, dtype=np.float64)
+
+        if self._timeline is not None:
+            self._timeline.record_active(now, paths, self._act_rates)
+        if self._tracing:
+            self.trace.emit(
+                now, "vector.epoch", active=n_active,
+                completed=len(finished), dt=dt,
+            )
 
         self._schedule_completion()
 

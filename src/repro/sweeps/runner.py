@@ -112,6 +112,8 @@ class PointResult:
     error: str | None = None
     error_type: str | None = None
     attempts: int = 1
+    #: In-worker wall seconds of the final attempt (0 for cache hits).
+    elapsed: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -160,6 +162,9 @@ class SweepResult:
     results: list[PointResult]
     elapsed: float
     workers: int
+    #: Wall time of the execution (cache-miss) phase alone; the gap to
+    #: ``elapsed`` is cache probing, keying and streaming.
+    exec_elapsed: float = 0.0
     spec: SweepSpec | None = field(default=None, repr=False)
     #: Per-cluster cost-model comparisons (populated by :meth:`SweepRunner.run`
     #: when the spec carries a ``models`` hook, or on demand by
@@ -194,6 +199,22 @@ class SweepResult:
     def failures(self) -> list[PointResult]:
         """The failed points (expansion order)."""
         return [r for r in self.results if not r.ok]
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of points served from the cache (0 on empty sweeps)."""
+        return self.n_cached / self.n_points if self.n_points else 0.0
+
+    @property
+    def sim_time(self) -> float:
+        """Summed in-worker simulation seconds across simulated points."""
+        return sum(r.elapsed for r in self.results if not r.cached and r.ok)
+
+    def profile(self, *, slowest: int = 3):
+        """Timing/cache profile of this sweep (:class:`repro.obs.SweepProfile`)."""
+        from ..obs import SweepProfile
+
+        return SweepProfile.from_result(self, slowest=slowest)
 
     def to_rows(self) -> tuple[list[str], list[dict[str, object]]]:
         """Flat tabular view (CSV/JSONL-ready)."""
@@ -428,6 +449,7 @@ class SweepRunner:
                 emitter.land(idx, result)
                 if progress is not None:
                     progress(len(resolved), total, result)
+            exec_start = time.perf_counter()
             for outcome in self._execute(misses, points, profile, scenario):
                 idx = outcome.index
                 if outcome.ok and self.cache is not None:
@@ -439,11 +461,13 @@ class SweepRunner:
                     error=outcome.error,
                     error_type=outcome.error_type,
                     attempts=outcome.attempts,
+                    elapsed=outcome.elapsed,
                 )
                 resolved[idx] = result
                 emitter.land(idx, result)
                 if progress is not None:
                     progress(len(resolved), total, result)
+            exec_elapsed = time.perf_counter() - exec_start if misses else 0.0
         finally:
             # Drain landed-but-gapped rows (interrupted runs keep every
             # completed point), then release every successfully-opened
@@ -460,6 +484,7 @@ class SweepRunner:
             results=results,
             elapsed=time.perf_counter() - start,
             workers=self.workers,
+            exec_elapsed=exec_elapsed,
         )
 
     # -- streaming ------------------------------------------------------

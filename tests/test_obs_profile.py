@@ -1,0 +1,140 @@
+"""Observability layer 3: sweep profiling — per-point in-worker timing,
+cache effectiveness, and the ``sweep --profile`` surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.exec.task import ExecutionTask, run_task
+from repro.obs import SweepProfile
+from repro.sweeps.cache import ResultCache
+from repro.sweeps.runner import SweepRunner
+from repro.sweeps.spec import SweepPoint
+
+
+def _points(sizes=(2048, 8192)):
+    return [
+        SweepPoint(
+            cluster="myrinet", n_processes=4, msg_size=size,
+            algorithm="direct", seed=0, reps=1,
+        )
+        for size in sizes
+    ]
+
+
+class TestTaskElapsed:
+    def test_successful_tasks_report_in_worker_time(self):
+        outcome = run_task(ExecutionTask(index=0, point=_points()[0]))
+        assert outcome.ok
+        assert outcome.elapsed > 0
+
+    def test_failed_tasks_still_report_time(self):
+        bad = SweepPoint(
+            cluster="no-such-cluster", n_processes=4, msg_size=1024,
+            algorithm="direct", seed=0, reps=1,
+        )
+        outcome = run_task(ExecutionTask(index=0, point=bad))
+        assert not outcome.ok
+        assert outcome.elapsed > 0
+
+
+class TestSweepTiming:
+    def test_cold_run_times_every_simulated_point(self, tmp_path):
+        runner = SweepRunner(cache=ResultCache(tmp_path))
+        result = runner.run_points(_points())
+        assert result.n_simulated == 2
+        assert all(r.elapsed > 0 for r in result.results)
+        assert result.sim_time >= max(r.elapsed for r in result.results)
+        assert result.exec_elapsed > 0
+        assert result.hit_rate == 0.0
+
+    def test_warm_run_is_all_cache_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SweepRunner(cache=cache).run_points(_points())
+        result = SweepRunner(cache=cache).run_points(_points())
+        assert result.n_cached == 2
+        assert result.hit_rate == 1.0
+        assert all(r.elapsed == 0.0 for r in result.results)
+        assert result.sim_time == 0.0
+        assert result.exec_elapsed == 0.0
+
+    def test_uncached_runner_still_profiles(self):
+        result = SweepRunner().run_points(_points(sizes=(2048,)))
+        profile = result.profile()
+        assert profile.n_simulated == 1
+        assert profile.sim_time > 0
+
+
+class TestSweepProfile:
+    def _profile(self, **overrides):
+        kwargs = dict(
+            n_points=4, n_cached=1, n_simulated=3, n_failed=0,
+            elapsed=2.0, exec_elapsed=1.5, sim_time=1.2,
+            workers=2, retries=0,
+        )
+        kwargs.update(overrides)
+        return SweepProfile(**kwargs)
+
+    def test_hit_rate_and_empty_sweeps(self):
+        assert self._profile().hit_rate == 0.25
+        empty = self._profile(
+            n_points=0, n_cached=0, n_simulated=0,
+            elapsed=0.0, exec_elapsed=0.0, sim_time=0.0,
+        )
+        assert empty.hit_rate == 0.0
+
+    def test_queue_overhead_subtracts_ideal_wall(self):
+        # 1.2 s of simulation over 2 workers → 0.6 s ideal; 1.5 s
+        # observed → 0.9 s of scheduling/IPC.
+        assert self._profile().queue_overhead == pytest.approx(0.9)
+        # Timer noise never goes negative.
+        fast = self._profile(exec_elapsed=0.1, sim_time=1.2, workers=1)
+        assert fast.queue_overhead == 0.0
+
+    def test_from_result_aggregates_and_ranks(self, tmp_path):
+        runner = SweepRunner(cache=ResultCache(tmp_path))
+        result = runner.run_points(_points())
+        profile = result.profile(slowest=1)
+        assert profile.n_points == 2
+        assert profile.n_simulated == 2
+        assert profile.sim_time == pytest.approx(result.sim_time)
+        assert len(profile.slowest) == 1
+        label, seconds = profile.slowest[0]
+        assert "myrinet direct n=4" in label
+        assert seconds == max(r.elapsed for r in result.results)
+
+    def test_render_reports_cache_and_retries(self):
+        text = self._profile(retries=2, slowest=(("myrinet n=4", 0.5),)).render()
+        assert "1 hit / 3 miss" in text
+        assert "25% hit rate" in text
+        assert "retries : 2" in text
+        assert "slowest : myrinet n=4" in text
+
+
+class TestSweepCliProfile:
+    def _sweep(self, tmp_path, *extra):
+        return main([
+            "sweep", "--clusters", "myrinet", "--nprocs", "4",
+            "--sizes", "2kB,8kB", "--cache-dir", str(tmp_path), *extra,
+        ])
+
+    def test_summary_always_shows_the_hit_rate(self, tmp_path, capsys):
+        assert self._sweep(tmp_path) == 0
+        out = capsys.readouterr().out
+        # The legacy grep targets stay intact...
+        assert "simulated : 2" in out
+        assert "cached    : 0" in out
+        # ...and the cache-effectiveness one-liner rides along.
+        assert "hit rate  : 0%" in out
+        assert self._sweep(tmp_path) == 0
+        assert "hit rate  : 100%" in capsys.readouterr().out
+
+    def test_profile_flag_appends_the_breakdown(self, tmp_path, capsys):
+        assert self._sweep(tmp_path, "--profile") == 0
+        out = capsys.readouterr().out
+        assert "profile   : 2 points" in out
+        assert "0 hit / 2 miss" in out
+        assert "slowest :" in out
+        assert self._sweep(tmp_path, "--profile") == 0
+        assert "2 hit / 0 miss (100% hit rate)" in capsys.readouterr().out

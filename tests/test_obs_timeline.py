@@ -1,0 +1,251 @@
+"""Observability layer 1: per-link timelines and MED contention reports.
+
+The acceptance property of the obs subsystem is the paper's §5 claim
+made executable: on a uniform All-to-All direct exchange, the observed
+peak concurrency on every link equals the MED-predicted degree — tested
+here on two paper clusters (fluid engine) and under a non-identity
+placement on the vector engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clusters.profiles import get_cluster
+from repro.measure.alltoall import measure_alltoall
+from repro.obs import (
+    ContentionReport,
+    LinkTimeline,
+    Observation,
+    predicted_concurrency,
+)
+from repro.simnet.entities import LinkKind
+from repro.simnet.fairness import FlowPaths
+from repro.simnet.topology import single_switch
+
+
+def _switch(n: int) -> "Topology":
+    return single_switch(n, nic_bandwidth=1e8, backplane_capacity=4e8)
+
+
+def _uniform(n: int, m: int = 1024) -> np.ndarray:
+    matrix = np.full((n, n), m)
+    np.fill_diagonal(matrix, 0)
+    return matrix
+
+
+class TestLinkTimeline:
+    def test_rejects_empty_topologies(self):
+        with pytest.raises(ValueError):
+            LinkTimeline(0)
+
+    def test_piecewise_constant_integration(self):
+        tl = LinkTimeline(3)
+        # One flow over links (0, 1) at 100 B/s for 2 s, then idle.
+        paths = FlowPaths.from_lists([(0, 1)])
+        tl.record_active(0.0, paths, np.array([100.0]))
+        tl.record_active(2.0, None, np.empty(0))
+        assert tl.duration == 2.0
+        np.testing.assert_allclose(tl.delivered_bytes, [200.0, 200.0, 0.0])
+        np.testing.assert_allclose(tl.busy_time, [2.0, 2.0, 0.0])
+        assert tl.peak_concurrency.tolist() == [1, 1, 0]
+
+    def test_peak_tracks_the_max_not_the_last_state(self):
+        tl = LinkTimeline(2)
+        two = FlowPaths.from_lists([(0,), (0,)])
+        one = FlowPaths.from_lists([(0,)])
+        tl.record_active(0.0, two, np.array([1.0, 1.0]))
+        tl.record_active(1.0, one, np.array([1.0]))
+        tl.record_active(2.0, None, np.empty(0))
+        assert tl.peak_concurrency[0] == 2
+        # 2 B/s for 1 s, then 1 B/s for 1 s.
+        assert tl.delivered_bytes[0] == pytest.approx(3.0)
+
+    def test_utilization_requires_capacities(self):
+        tl = LinkTimeline(1)
+        with pytest.raises(ValueError, match="capacities"):
+            tl.utilization()
+        tl = LinkTimeline(1, capacities=np.array([100.0]))
+        tl.record_active(0.0, FlowPaths.from_lists([(0,)]), np.array([50.0]))
+        tl.record_active(1.0, None, np.empty(0))
+        np.testing.assert_allclose(tl.utilization(), [0.5])
+
+    def test_series_shapes_and_opt_out(self):
+        tl = LinkTimeline(2)
+        tl.record_active(0.0, FlowPaths.from_lists([(1,)]), np.array([1.0]))
+        tl.record_active(1.0, None, np.empty(0))
+        times, conc, bw = tl.series()
+        assert times.shape == (2,)
+        assert conc.shape == bw.shape == (2, 2)
+        assert conc[0, 1] == 1
+        lean = LinkTimeline(2, keep_series=False)
+        lean.record_active(0.0, None, np.empty(0))
+        with pytest.raises(ValueError, match="keep_series"):
+            lean.series()
+
+    def test_empty_series_is_well_shaped(self):
+        times, conc, bw = LinkTimeline(3).series()
+        assert times.shape == (0,)
+        assert conc.shape == bw.shape == (0, 3)
+
+    def test_for_topology_carries_link_metadata(self):
+        topo = _switch(3)
+        tl = LinkTimeline.for_topology(topo)
+        assert tl.n_links == topo.n_links
+        assert tl.names is not None and "host0.tx" in tl.names
+        assert tl.kinds is not None and "backplane" in tl.kinds
+        np.testing.assert_allclose(tl.capacities, topo.capacities())
+        assert tl.link_name(0) == tl.names[0]
+        assert LinkTimeline(2).link_name(1) == "link1"
+
+
+class TestPredictedConcurrency:
+    def test_uniform_alltoall_predicts_the_degree_on_nics(self):
+        n = 5
+        topo = _switch(n)
+        predicted = predicted_concurrency(topo, _uniform(n))
+        for link in topo.links:
+            if link.kind in (LinkKind.HOST_TX, LinkKind.HOST_RX):
+                assert predicted[link.index] == n - 1
+            elif link.kind is LinkKind.BACKPLANE:
+                assert predicted[link.index] == n * (n - 1)
+
+    def test_zero_matrix_predicts_silence(self):
+        topo = _switch(3)
+        assert predicted_concurrency(topo, np.zeros((3, 3))).sum() == 0
+
+    def test_rejects_non_square_matrices(self):
+        with pytest.raises(ValueError, match="square"):
+            predicted_concurrency(_switch(3), np.zeros((3, 2)))
+
+
+class TestMedEquality:
+    """Observed peak concurrency == MED degree, per acceptance criteria."""
+
+    def _observe(self, cluster, n, m, **kwargs):
+        sample = measure_alltoall(
+            cluster, n, m, reps=1, seed=0, observe=True, **kwargs
+        )
+        obs = sample.observed
+        assert isinstance(obs, Observation)
+        return obs
+
+    def test_gigabit_ethernet_matches_med_on_every_link(self):
+        obs = self._observe(get_cluster("gigabit-ethernet"), 8, 32768)
+        assert obs.report.matches_prediction
+        assert obs.report.mismatches() == []
+        nics = [
+            link for link in obs.report
+            if link.kind in ("host_tx", "host_rx")
+        ]
+        assert nics and all(link.observed_peak == 7 for link in nics)
+
+    def test_fast_ethernet_matches_med_on_every_link(self):
+        obs = self._observe(get_cluster("fast-ethernet"), 6, 16384)
+        assert obs.report.matches_prediction
+        nics = [
+            link for link in obs.report
+            if link.kind in ("host_tx", "host_rx")
+        ]
+        assert nics and all(link.observed_peak == 5 for link in nics)
+
+    def test_vector_engine_under_non_identity_placement(self):
+        cluster = get_cluster("fast-ethernet").with_overrides(loss=None)
+        n = 24
+        obs = self._observe(
+            cluster, n, 8192,
+            engine="vector", placement=list(reversed(range(n))),
+        )
+        assert obs.engine == "vector"
+        assert obs.report.matches_prediction
+        assert obs.report.mismatches() == []
+
+
+class TestEngineEquivalence:
+    """Fluid and vector engines deliver identical per-link byte totals."""
+
+    def test_delivered_bytes_agree_per_link(self):
+        cluster = get_cluster("gigabit-ethernet").with_overrides(loss=None)
+        observations = {
+            engine: measure_alltoall(
+                cluster, 8, 65536, reps=1, seed=0,
+                engine=engine, observe=True,
+            ).observed
+            for engine in ("fluid", "vector")
+        }
+        fluid = observations["fluid"].timeline.delivered_bytes
+        vector = observations["vector"].timeline.delivered_bytes
+        assert fluid.sum() > 0
+        np.testing.assert_allclose(vector, fluid, rtol=1e-9)
+
+
+class TestContentionReport:
+    def _report(self):
+        sample = measure_alltoall(
+            get_cluster("myrinet"), 4, 8192, reps=1, observe=True
+        )
+        return sample.observed.report
+
+    def test_iterates_in_link_order_and_sizes(self):
+        report = self._report()
+        assert len(report) == len(list(report))
+        assert [link.index for link in report] == list(range(len(report)))
+
+    def test_bottlenecks_rank_by_busy_time(self):
+        report = self._report()
+        ranked = report.bottlenecks(top=len(report))
+        busy = [link.busy_time for link in ranked]
+        assert busy == sorted(busy, reverse=True)
+        assert len(report.bottlenecks(top=2)) == 2
+        assert report.bottlenecks(top=0) == []
+
+    def test_zero_prediction_flags_every_used_link(self):
+        sample = measure_alltoall(
+            get_cluster("myrinet"), 4, 8192, reps=1, observe=True
+        )
+        obs = sample.observed
+        topo = get_cluster("myrinet").topology(4)
+        report = ContentionReport.from_timeline(
+            obs.timeline, topo, np.zeros((4, 4))
+        )
+        assert not report.matches_prediction
+        assert report.mismatches()
+        assert "deviate" in report.render()
+
+    def test_matching_report_renders_the_verdict(self):
+        report = self._report()
+        assert "MED" in report.render()
+        payload = report.to_dict()
+        assert payload["matches_prediction"] == report.matches_prediction
+        assert len(payload["links"]) == len(report)
+        assert {"observed_peak", "predicted_peak"} <= set(
+            payload["links"][0]
+        )
+
+    def test_link_count_mismatch_is_rejected(self):
+        topo = _switch(3)
+        with pytest.raises(ValueError, match="links"):
+            ContentionReport.from_timeline(
+                LinkTimeline(2), topo, _uniform(3)
+            )
+
+
+class TestObservationRider:
+    """observe=True must not perturb results or cache-visible payloads."""
+
+    def test_observation_does_not_change_the_sample(self):
+        cluster = get_cluster("myrinet")
+        plain = measure_alltoall(cluster, 4, 8192, reps=2)
+        observed = measure_alltoall(cluster, 4, 8192, reps=2, observe=True)
+        assert observed == plain  # rider attrs are not dataclass fields
+        assert not hasattr(plain, "observed")
+        assert hasattr(observed, "observed")
+
+    def test_observation_render_mentions_the_engine(self):
+        obs = measure_alltoall(
+            get_cluster("myrinet"), 4, 8192, reps=1, observe=True
+        ).observed
+        text = obs.render()
+        assert "engine" in text and "fluid" in text
+        assert "trace events" in text
