@@ -40,6 +40,8 @@ SWEEP_SCHEMA: dict[str, Callable[[str], object]] = {
     "sim_resolves": int,
     "sim_epochs": int,
     "sim_events": int,
+    "sim_losses": int,
+    "sim_stalls": int,
 }
 
 

@@ -12,17 +12,19 @@ executor plugin axes.  Two built-ins ship:
 ``fluid`` (default)
     The event-driven reference stack — generator runtime
     (:mod:`repro.simmpi.runtime`) over the fluid network
-    (:mod:`repro.simnet.fluid`).  This is the correctness oracle; it
-    alone models the TCP loss overlay, and the default keeps every
-    existing cache key bit-identical.
+    (:mod:`repro.simnet.fluid`).  This is the correctness oracle, and
+    the default keeps every existing cache key bit-identical.
 
 ``vector``
     Lowers the program to a static phase schedule
     (:mod:`repro.simmpi.lowering`) and executes it with the batched
     epoch-synchronized simulator (:mod:`repro.simnet.vector`).  Matches
     ``fluid`` to floating-point roundoff on lossless, jitter-free
-    configurations and is 10–100x faster on large grids; rejects
-    loss-enabled profiles and unlowerable programs.
+    configurations and is 10–100x faster on large grids.  Loss-enabled
+    profiles run on a vectorized port of the TCP loss overlay that
+    samples the same stochastic process through different random
+    streams, so lossy runs match ``fluid`` statistically (distribution,
+    not bit-exact).  Unlowerable programs are still rejected.
 
 The process-wide default is ``fluid`` unless the ``REPRO_SIM_ENGINE``
 environment variable names another registered engine (see

@@ -43,7 +43,10 @@ ROW_FIELDS = [
 #: which engine simulated the point and its per-point simulation-effort
 #: counters (summed over reps; empty for cache hits, which carry no
 #: counters).
-STATS_ROW_FIELDS = ["engine", "sim_resolves", "sim_epochs", "sim_events"]
+STATS_ROW_FIELDS = [
+    "engine", "sim_resolves", "sim_epochs", "sim_events",
+    "sim_losses", "sim_stalls",
+]
 
 
 def row_fields() -> list[str]:

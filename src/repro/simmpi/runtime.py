@@ -335,6 +335,8 @@ class Runtime:
                 resolves=self.network.resolves,
                 epochs=self.network.epochs,
                 events=self.engine.events_processed,
+                losses=self.network.total_losses,
+                stalls=self.network.stalls,
             ),
         )
 

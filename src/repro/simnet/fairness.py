@@ -161,8 +161,9 @@ def max_min_allocation(
         raise ValueError("flow with empty path cannot be allocated")
 
     if tie_eps > 0.0:
-        rates = _batched_fill(
-            capacities, paths, link_flow_count, row_lengths, rates, tie_eps
+        rates, link_load = _batched_fill(
+            capacities, paths, link_flow_count, row_lengths, rates, tie_eps,
+            need_loads=need_loads,
         )
         if not need_loads:
             return AllocationResult(
@@ -171,13 +172,12 @@ def max_min_allocation(
                 link_load=None,
                 saturated=None,
             )
-        link_load = np.bincount(
-            paths.link_ids,
-            weights=np.repeat(rates, row_lengths),
-            minlength=n_links,
-        )
+        # A link frozen as part of a tie batch is allocated the batch's
+        # minimum share, leaving it up to ~tie_eps under capacity — it
+        # is still a bottleneck physically, so the saturation test
+        # widens by the same tolerance (the loss model keys off this).
         saturated = (link_flow_count > 0) & (
-            link_load >= capacities * (1.0 - 1e-9) - _EPS
+            link_load >= capacities * (1.0 - 1e-9 - tie_eps) - _EPS
         )
         return AllocationResult(
             rates=rates,
@@ -244,24 +244,39 @@ def _batched_fill(
     row_lengths: np.ndarray,
     rates: np.ndarray,
     tie_eps: float,
-) -> np.ndarray:
+    *,
+    need_loads: bool = False,
+) -> "tuple[np.ndarray, np.ndarray | None]":
     """Progressive filling that freezes all near-tied bottlenecks at once.
 
-    Sort-free: instead of a reverse (link -> flows) CSR it keeps an
-    entry-level liveness mask and finds the flows hit by the tied links
-    with two boolean gathers per iteration.  Symmetric fabrics (every
-    NIC equally loaded) collapse to one or two iterations total.
+    Sort-free: instead of a reverse (link -> flows) CSR it keeps flat
+    entry arrays (link id, flow id) and finds the flows hit by the tied
+    links with two gathers per iteration.  Symmetric fabrics (every NIC
+    equally loaded) collapse to one or two iterations total.  The entry
+    arrays are *compacted* after each freeze batch — a frozen flow's
+    entries are dropped rather than masked — so on heterogeneous
+    fabrics with long freeze tails (hierarchical Fast Ethernet mid-run,
+    where completions desynchronise the per-flow remaining bytes and
+    each solve walks dozens of distinct bottleneck levels) the
+    per-iteration cost tracks the shrinking live set, not the full CSR.
+
+    With ``need_loads=True`` the per-link allocated load is accumulated
+    inside the fill (``share * flows_removed`` per freeze batch), so
+    callers that want the load/saturation summary don't pay a second
+    pass over the CSR after the solve.
     """
     n_links = len(capacities)
     n_flows = paths.n_flows
-    link_of_entry = paths.link_ids
-    flow_of_entry = np.repeat(np.arange(n_flows, dtype=np.int64), row_lengths)
-    entry_live = np.ones(len(link_of_entry), dtype=bool)
+    # Compacted as flows freeze: ent_flow only ever holds unfrozen flows
+    # (all of a flow's entries die in the batch that freezes it).
+    ent_link = paths.link_ids
+    ent_flow = np.repeat(np.arange(n_flows, dtype=np.int64), row_lengths)
     residual = capacities.copy()
     unfrozen_count = link_flow_count.astype(np.float64)
-    unfrozen = np.ones(n_flows, dtype=bool)
+    newly_mask = np.zeros(n_flows, dtype=bool)
     remaining = n_flows
     fair = np.empty(n_links, dtype=np.float64)
+    link_load = np.zeros(n_links, dtype=np.float64) if need_loads else None
     for _ in range(n_links + n_flows + 1):
         if remaining == 0:
             break
@@ -272,26 +287,31 @@ def _batched_fill(
             break
         share = max(share, 0.0)
         tied = fair <= share * (1.0 + tie_eps)
-        newly_mask = np.zeros(n_flows, dtype=bool)
-        newly_mask[flow_of_entry[tied[link_of_entry] & entry_live]] = True
-        newly_mask &= unfrozen
-        n_new = int(np.count_nonzero(newly_mask))
-        if n_new == 0:  # pragma: no cover - numeric guard
+        hit_flows = ent_flow[tied[ent_link]]
+        if hit_flows.size == 0:  # pragma: no cover - numeric guard
             unfrozen_count[tied] = 0
             continue
-        rates[newly_mask] = share
-        unfrozen[newly_mask] = False
+        newly_mask[hit_flows] = True
+        n_new = int(np.count_nonzero(newly_mask))
+        rates[hit_flows] = share
         remaining -= n_new
-        if remaining == 0:
+        if remaining == 0 and link_load is None:
             # Everything froze this round (the common symmetric-fabric
-            # case) — the liveness/residual bookkeeping below only
-            # feeds the next iteration.
+            # case) — the bookkeeping below only feeds the next
+            # iteration.
             break
-        dead = newly_mask[flow_of_entry] & entry_live
-        entry_live &= ~dead
-        removed = np.bincount(link_of_entry[dead], minlength=n_links)
+        dead = newly_mask[ent_flow]
+        newly_mask[hit_flows] = False
+        removed = np.bincount(ent_link[dead], minlength=n_links)
+        if link_load is not None:
+            link_load += share * removed
+        if remaining == 0:
+            break
+        keep = ~dead
+        ent_link = ent_link[keep]
+        ent_flow = ent_flow[keep]
         residual -= share * removed
         unfrozen_count -= removed
         np.maximum(residual, 0.0, out=residual)
         unfrozen_count[tied] = 0  # fully frozen by construction
-    return rates
+    return rates, link_load

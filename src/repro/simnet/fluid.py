@@ -13,8 +13,9 @@ at a time as rank programs progress; the batched alternative
 (:mod:`repro.simnet.vector`) executes statically lowered schedules
 (:mod:`repro.simmpi.lowering`) instead and re-uses this module's epsilon
 and event-priority conventions to stay equivalent.  This engine is the
-default and the correctness oracle: it alone models the TCP loss
-overlay, and cache keys are defined by its behaviour.
+default and the correctness oracle: the vector engine's loss overlay is
+validated statistically against this one, and cache keys are defined by
+its behaviour.
 
 Design notes (performance and the engine split):
 
@@ -218,6 +219,7 @@ class FluidNetwork:
         # Aggregate statistics.
         self.flows_completed = 0
         self.total_losses = 0
+        self.stalls = 0
         self.max_concurrent = 0
         self.resolves = 0
         self.epochs = 0
@@ -519,6 +521,7 @@ class FluidNetwork:
 
         flow.state = FlowState.STALLED
         flow.slot = -1
+        self.stalls += 1
         self._structure_dirty = True
         self.trace.emit(
             self.engine.now, "flow.loss", fid=flow.fid, src=flow.src,

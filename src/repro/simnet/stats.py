@@ -44,12 +44,20 @@ class SimStats:
         actually progressed (``dt > 0`` with a non-empty active set).
     events:
         Discrete events executed by the event kernel.
+    losses:
+        TCP loss events (RTO detections) sampled by the loss overlay.
+    stalls:
+        Flow stalls: how many times a flow left the active set to sit
+        out an RTO penalty.  One stall may cover several chained losses,
+        so ``stalls <= losses`` whenever the loss overlay is enabled.
     """
 
     engine: str
     resolves: int
     epochs: int
     events: int
+    losses: int = 0
+    stalls: int = 0
 
     def merged(self, other: "SimStats") -> "SimStats":
         """Counter-wise sum (for aggregating repetitions of one point)."""
@@ -58,6 +66,8 @@ class SimStats:
             resolves=self.resolves + other.resolves,
             epochs=self.epochs + other.epochs,
             events=self.events + other.events,
+            losses=self.losses + other.losses,
+            stalls=self.stalls + other.stalls,
         )
 
 

@@ -24,18 +24,41 @@ replays the reference runtime's arithmetic event for event on the same
 the two engines agree to floating-point roundoff; the fluid engine
 remains the correctness oracle (see ``repro.engines``).
 
+The TCP loss overlay (:mod:`repro.simnet.loss`) is vectorized over the
+flow batch instead of replayed per flow.  Each flow carries a unit-rate
+Poisson *budget* — an Exp(1) draw decremented by ``hazard * dt`` every
+epoch — and loses a packet when the budget crosses zero (the standard
+time-rescaling construction of an inhomogeneous Poisson process, equal
+in law to the fluid engine's global competing-exponential clock).  Loss
+state is array-resident (``stalled_until``, ``backoff``,
+``bytes_since_loss`` vectors indexed by message id); RTO expiries are
+ordinary epoch boundaries: a stalled flow drops out of the max-min
+solve and re-enters through the pending queue when its penalty elapses.
+Determinism comes from the named :class:`~repro.simnet.rng.RngFactory`
+stream discipline — initial budgets from one vectorized
+``"net/loss/budget"`` draw indexed by message id, post-loss chain and
+budget draws from a lazily created ``"net/loss/flow/<mid>"`` stream per
+flow — so loss sequences are stable across processes and epoch
+orderings.
+
+Equivalence contract: with losses disabled the two engines agree to
+floating-point roundoff (the fluid engine remains the correctness
+oracle).  With losses enabled the engines sample the *same stochastic
+process* through different random-number streams, so individual runs
+differ but distributions match — lossy equivalence is asserted
+statistically (mean completion time over paired seeds), not bit-exact.
+
 Observability: pass ``trace=`` to record ``flow.inject`` /
-``flow.complete`` (same categories as the fluid engine) plus the
+``flow.complete`` (same categories as the fluid engine) plus
+``flow.stall`` / ``flow.resume`` around every RTO gap, the
 vector-specific ``vector.epoch`` (one per resolve, with the active-set
 size) and ``vector.phase`` (one per posted schedule segment) records;
 pass ``timeline=`` (a :class:`~repro.obs.timeline.LinkTimeline`) to
-collect per-link concurrency/bandwidth.  Both default to off with zero
+collect per-link concurrency/bandwidth.  All default to off with zero
 overhead.
 
-Not supported: the TCP loss overlay (stalls reintroduce per-flow state
-transitions; profiles with losses enabled are rejected — override
-``loss=None`` to compare engines) and programs that cannot be lowered
-(wildcards, ``ctx.now``).
+Not supported: programs that cannot be lowered (wildcards,
+``ctx.now``).
 """
 
 from __future__ import annotations
@@ -50,7 +73,7 @@ from ..exceptions import DeadlockError, SimulationError
 from .engine import Engine, EventHandle
 from .fairness import FlowPaths, max_min_allocation
 from .fluid import _BYTE_EPS, _RESOLVE_PRIORITY
-from .loss import LossParams
+from .loss import LossModel, LossParams
 from .penalty import HolPenalty
 from .resources import SerialResource
 from .rng import RngFactory
@@ -71,6 +94,22 @@ __all__ = ["VectorSimulator"]
 #: engines' 1e-6 equivalence contract — while collapsing the symmetric
 #: steady-state of an All-to-All to a couple of iterations per epoch.
 _ALLOC_TIE_EPS = 1e-9
+
+#: Tie tolerance for *lossy* runs, where the contract is statistical
+#: (mean within 10% of fluid over paired seeds) rather than bit-exact.
+#: Mid-run, completions desynchronise per-link flow counts, so exact
+#: filling walks one freeze level per distinct count (dozens per epoch
+#: on hierarchical fabrics); batching levels within a few percent
+#: collapses that tail.  Each flow's rate lands within ``tie_eps``
+#: relative of its exact fair share, biasing durations by at most the
+#: same factor — far inside the statistical-equivalence budget.
+_LOSSY_TIE_EPS = 0.05
+
+#: A flow's Poisson loss budget is "spent" when it falls to this close
+#: to zero.  Budgets are Exp(1) draws (mean 1.0), and the epoch horizon
+#: lands exactly on the crossing, so only accumulated float roundoff
+#: (~1e-16 per epoch) has to fit under the epsilon.
+_BUDGET_EPS = 1e-9
 
 
 class _HostScheduler:
@@ -152,12 +191,6 @@ class VectorSimulator:
             raise ValueError(
                 f"nprocs={self.nprocs} exceeds hosts={topology.n_hosts}"
             )
-        if loss_params is not None and loss_params.enabled:
-            raise SimulationError(
-                "the vector engine does not model the TCP loss overlay; "
-                "use the fluid engine, or override the profile with "
-                "loss=None to compare engines on a lossless fabric"
-            )
         if start_skew_scale < 0:
             raise ValueError("start_skew_scale must be >= 0")
         self.topology = topology
@@ -168,10 +201,18 @@ class VectorSimulator:
         self._inject_time: dict[int, float] = {}
         self.engine = Engine()
         rng_factory = RngFactory(seed)
+        self._rng_factory = rng_factory
         self._jitter_rng = rng_factory.stream("mpi/jitter")
         self._skew_rng = rng_factory.stream("mpi/skew")
         self._start_skew_scale = start_skew_scale
         self._capacities = np.asarray(topology.capacities(), dtype=np.float64)
+        if loss_params is not None and loss_params.enabled:
+            kinds = [link.kind for link in topology.links]
+            self._loss_model: LossModel | None = LossModel(loss_params, kinds)
+            self._loss_params = loss_params
+        else:
+            self._loss_model = None
+            self._loss_params = loss_params
         if hol_penalty is not None and hol_penalty.enabled:
             self._hol = hol_penalty
             self._hol_eta = hol_penalty.eta_vector(
@@ -204,7 +245,27 @@ class VectorSimulator:
         self._act_mids = np.empty(0, dtype=np.int64)
         self._act_remaining = np.empty(0, dtype=np.float64)
         self._act_rates = np.empty(0, dtype=np.float64)
+        self._act_hazards = np.empty(0, dtype=np.float64)
         self._pending: list[int] = []
+
+        # Warm-start cache: when a resolve sees the exact same active
+        # set as the previous solve (rates-only epoch — e.g. a coalesced
+        # resume cascade), the CSR, rates and hazards are reused and the
+        # max-min solve is skipped entirely.
+        self._solve_mids: "np.ndarray | None" = None
+        self._solve_paths: "FlowPaths | None" = None
+        self._solve_rates = np.empty(0, dtype=np.float64)
+        self._solve_hazards = np.empty(0, dtype=np.float64)
+
+        # Loss-overlay state, allocated per message id in _setup() when
+        # the profile enables losses.
+        self._loss_budget = np.empty(0, dtype=np.float64)
+        self._backoff = np.empty(0, dtype=np.int64)
+        self._bytes_since_loss = np.empty(0, dtype=np.float64)
+        self._stalled_until = np.empty(0, dtype=np.float64)
+        self._flow_losses = np.empty(0, dtype=np.int64)
+        self._flow_remaining = np.empty(0, dtype=np.float64)
+        self._flow_rngs: dict[int, np.random.Generator] = {}
         self._inbound_open = np.zeros(self.nprocs, dtype=np.int64)
         self._outbound_open = np.zeros(self.nprocs, dtype=np.int64)
         self._structure_dirty = False
@@ -236,6 +297,10 @@ class VectorSimulator:
         self.max_concurrent = 0
         self.resolves = 0
         self.epochs = 0
+        self.total_losses = 0
+        self.stalls = 0
+        self.solves = 0
+        self.solve_reuses = 0
 
     # ------------------------------------------------------------------
     # Schedule setup
@@ -290,6 +355,20 @@ class VectorSimulator:
             self._pair_links2d = self._pair_links.reshape(
                 len(routes), int(lengths[0])
             )
+        if self._loss_model is not None:
+            # One vectorized Exp(1) draw, indexed by message id, seeds
+            # every flow's first loss budget; post-loss draws come from
+            # per-flow named streams (see _flow_rng).  Keying by mid —
+            # stable across processes and epoch orderings — is what
+            # makes the loss sequence deterministic.
+            self._loss_budget = self._rng_factory.stream(
+                "net/loss/budget"
+            ).exponential(size=n_messages)
+            self._backoff = np.zeros(n_messages, dtype=np.int64)
+            self._bytes_since_loss = np.zeros(n_messages, dtype=np.float64)
+            self._stalled_until = np.zeros(n_messages, dtype=np.float64)
+            self._flow_losses = np.zeros(n_messages, dtype=np.int64)
+            self._flow_remaining = wire.copy()
         self._send_done = [False] * n_messages
         self._recv_done = [False] * n_messages
         self._recv_posted = [False] * n_messages
@@ -335,7 +414,7 @@ class VectorSimulator:
             rank_finish_times=finish,
             events_processed=self.engine.events_processed,
             flows_completed=self.flows_completed,
-            total_losses=0,
+            total_losses=self.total_losses,
             max_concurrent_flows=self.max_concurrent,
             trace=self.trace,
             stats=SimStats(
@@ -343,6 +422,8 @@ class VectorSimulator:
                 resolves=self.resolves,
                 epochs=self.epochs,
                 events=self.engine.events_processed,
+                losses=self.total_losses,
+                stalls=self.stalls,
             ),
         )
 
@@ -517,8 +598,15 @@ class VectorSimulator:
         now = self.engine.now
         dt = now - self._last_advance
         n_active = len(self._act_mids)
+        lossy = self._loss_model is not None
         if dt > 0 and n_active:
-            self._act_remaining -= self._act_rates * dt
+            moved = self._act_rates * dt
+            self._act_remaining -= moved
+            if lossy:
+                # Time-rescaling: each flow's Exp(1) budget burns at its
+                # instantaneous hazard; crossing zero is a packet loss.
+                self._bytes_since_loss[self._act_mids] += moved
+                self._loss_budget[self._act_mids] -= self._act_hazards * dt
             self.epochs += 1
         self._last_advance = now
 
@@ -540,6 +628,8 @@ class VectorSimulator:
                 keep = ~mask
                 self._act_mids = self._act_mids[keep]
                 self._act_remaining = self._act_remaining[keep]
+                if lossy:
+                    self._act_hazards = self._act_hazards[keep]
                 self._structure_dirty = True
                 if self._tracing:
                     for mid in finished:
@@ -548,16 +638,40 @@ class VectorSimulator:
                         self.trace.emit(
                             now, "flow.complete", fid=mid,
                             src=self._msg_src[mid], dst=self._msg_dst[mid],
-                            duration=now - start, losses=0, label="",
+                            duration=now - start,
+                            losses=int(self._flow_losses[mid]) if lossy else 0,
+                            label="",
                         )
+
+        if lossy and len(self._act_mids):
+            # Spent budgets on surviving flows are this epoch's losses
+            # (completions take precedence).  The hazard guard keeps a
+            # pathologically tiny initial draw from firing before the
+            # flow has ever seen congestion.
+            lost_mask = (self._loss_budget[self._act_mids] <= _BUDGET_EPS) & (
+                self._act_hazards > 0.0
+            )
+            if lost_mask.any():
+                lost = self._act_mids[lost_mask]
+                lost_remaining = self._act_remaining[lost_mask]
+                keep = ~lost_mask
+                self._act_mids = self._act_mids[keep]
+                self._act_remaining = self._act_remaining[keep]
+                self._act_hazards = self._act_hazards[keep]
+                self._structure_dirty = True
+                for mid, rem in zip(lost, lost_remaining):
+                    self._stall(int(mid), max(float(rem), 0.0))
 
         if self._structure_dirty:
             if self._pending:
                 admitted = np.asarray(self._pending, dtype=np.int64)
                 self._pending.clear()
+                remaining_src = (
+                    self._flow_remaining if lossy else self._msg_wire
+                )
                 self._act_mids = np.concatenate([self._act_mids, admitted])
                 self._act_remaining = np.concatenate(
-                    [self._act_remaining, self._msg_wire[admitted]]
+                    [self._act_remaining, remaining_src[admitted]]
                 )
             self._structure_dirty = False
             self.max_concurrent = max(self.max_concurrent, len(self._act_mids))
@@ -565,21 +679,65 @@ class VectorSimulator:
         n_active = len(self._act_mids)
         paths = None
         if n_active:
-            paths = self._active_paths()
-            capacities = self._capacities
-            if self._hol is not None:
-                counts = np.bincount(
-                    paths.link_ids, minlength=len(capacities)
+            if (
+                self._solve_mids is not None
+                and len(self._solve_mids) == n_active
+                and np.array_equal(self._act_mids, self._solve_mids)
+            ):
+                # Warm start: identical flow set => identical solve (the
+                # batched fill is deterministic) and identical hazards
+                # (backoffs only change on a stall, which changes the
+                # set).  Reuse the CSR, rates and hazards outright.
+                paths = self._solve_paths
+                self._act_rates = self._solve_rates
+                self._act_hazards = self._solve_hazards
+                self.solve_reuses += 1
+            else:
+                paths = self._active_paths()
+                capacities = self._capacities
+                if self._hol is not None:
+                    counts = np.bincount(
+                        paths.link_ids, minlength=len(capacities)
+                    )
+                    capacities = self._hol.effective(
+                        capacities, self._hol_eta, counts
+                    )
+                # The loss model needs the saturation summary; the
+                # batched fill fuses its accumulation into the solve.
+                alloc = max_min_allocation(
+                    capacities, paths,
+                    tie_eps=_LOSSY_TIE_EPS if lossy else _ALLOC_TIE_EPS,
+                    need_loads=lossy,
                 )
-                capacities = self._hol.effective(
-                    capacities, self._hol_eta, counts
-                )
-            alloc = max_min_allocation(
-                capacities, paths, tie_eps=_ALLOC_TIE_EPS, need_loads=False
-            )
-            self._act_rates = alloc.rates
+                self._act_rates = alloc.rates
+                if lossy:
+                    backoffs = None
+                    if self._loss_params.backoff_hazard_factor > 0:
+                        backoffs = self._backoff[self._act_mids].astype(
+                            np.float64
+                        )
+                    self._act_hazards = self._loss_model.flow_hazards(
+                        paths.link_ids,
+                        paths.indptr,
+                        alloc.rates,
+                        alloc.link_flow_count,
+                        alloc.saturated,
+                        backoffs,
+                    )
+                else:
+                    self._act_hazards = np.empty(0, dtype=np.float64)
+                self.solves += 1
+                # _act_mids is replaced wholesale (never mutated in
+                # place) on structure changes, so aliasing it is safe.
+                self._solve_mids = self._act_mids
+                self._solve_paths = paths
+                self._solve_rates = self._act_rates
+                self._solve_hazards = self._act_hazards
         else:
             self._act_rates = np.empty(0, dtype=np.float64)
+            self._act_hazards = np.empty(0, dtype=np.float64)
+            self._solve_mids = None
+            self._solve_paths = None
 
         if self._timeline is not None:
             self._timeline.record_active(now, paths, self._act_rates)
@@ -640,6 +798,17 @@ class VectorSimulator:
             with np.errstate(divide="ignore"):
                 ttc = np.where(positive, self._act_remaining / rates, np.inf)
             dt = float(max(ttc.min(), 0.0))
+        if self._loss_model is not None and len(self._act_hazards):
+            # Exponential waiting times fold into the epoch horizon: the
+            # next loss (first budget to burn out at current hazards) is
+            # an epoch boundary exactly like the next completion.
+            hazards = self._act_hazards
+            burning = hazards > 0.0
+            if burning.any():
+                budgets = self._loss_budget[self._act_mids]
+                with np.errstate(divide="ignore"):
+                    ttl = np.where(burning, budgets / hazards, np.inf)
+                dt = min(dt, float(max(ttl.min(), 0.0)))
         self._completion_event = self.engine.schedule_after(
             dt, self._on_completion_due, priority=_RESOLVE_PRIORITY - 1
         )
@@ -648,6 +817,89 @@ class VectorSimulator:
         self._completion_event = None
         self._structure_dirty = True
         self._resolve()
+
+    # ------------------------------------------------------------------
+    # Loss overlay (stall / resume)
+    # ------------------------------------------------------------------
+
+    def _flow_rng(self, mid: int) -> np.random.Generator:
+        """Per-flow named stream for post-loss draws (chains, budgets).
+
+        Created lazily — losses are rare relative to flows — and keyed
+        by message id, so the draw sequence a flow sees is independent
+        of when other flows lose.
+        """
+        rng = self._flow_rngs.get(mid)
+        if rng is None:
+            rng = self._rng_factory.stream(f"net/loss/flow/{mid}")
+            self._flow_rngs[mid] = rng
+        return rng
+
+    def _stall(self, mid: int, remaining: float) -> None:
+        """A loss fired for *mid*: apply RTO backoff and park the flow.
+
+        Mirrors the fluid engine's per-flow loss arithmetic (backoff
+        reset after loss-free progress, exponential RTO, chained
+        timeouts) over the array-resident state.
+        """
+        params = self._loss_params
+        assert params is not None
+        self._flow_remaining[mid] = remaining
+        if self._bytes_since_loss[mid] >= params.backoff_reset_bytes:
+            self._backoff[mid] = 0
+        backoff = int(self._backoff[mid])
+        penalty = params.rto(backoff)
+        backoff += 1
+        losses = 1
+        rng = self._flow_rng(mid)
+        # Chained timeouts: the retransmission may itself be dropped,
+        # doubling the backoff before any data moves (Fig. 3 outliers).
+        chain = params.chain_probability
+        chained = 0
+        while (
+            chain > 0
+            and chained < params.chain_max
+            and rng.random() < chain
+        ):
+            penalty += params.rto(backoff)
+            backoff += 1
+            losses += 1
+            chained += 1
+            chain *= params.chain_decay
+        self._backoff[mid] = backoff
+        self._bytes_since_loss[mid] = 0.0
+        self._flow_losses[mid] += losses
+        self.total_losses += losses
+        self.stalls += 1
+        # Fresh unit-rate budget for the flow's next loss (the Poisson
+        # process is memoryless; the stalled interval burns nothing
+        # because the flow leaves the active set).
+        self._loss_budget[mid] = float(rng.exponential())
+        self._stalled_until[mid] = self.engine.now + penalty
+        if self._tracing:
+            self.trace.emit(
+                self.engine.now, "flow.stall", fid=mid,
+                src=self._msg_src[mid], dst=self._msg_dst[mid],
+                penalty=penalty, backoff=backoff, remaining=remaining,
+                label="",
+            )
+        self.engine.schedule_after(penalty, lambda: self._resume_flow(mid))
+
+    def _resume_flow(self, mid: int) -> None:
+        """RTO expired: the flow re-enters through the pending queue."""
+        self._stalled_until[mid] = 0.0
+        self._pending.append(mid)
+        if self._tracing:
+            self.trace.emit(
+                self.engine.now, "flow.resume", fid=mid,
+                src=self._msg_src[mid], dst=self._msg_dst[mid],
+                remaining=float(self._flow_remaining[mid]), label="",
+            )
+        if self._resolve_event is None or self._resolve_event.cancelled:
+            self._resolve_event = self.engine.schedule(
+                self.engine.now, self._resolve, priority=_RESOLVE_PRIORITY
+            )
+        self._structure_dirty = True
 
     def _on_flow_complete(self, mid: int, inbound: int) -> None:
         self._schedulers[self._msg_src[mid]].release(mid)

@@ -152,6 +152,8 @@ class PointResult:
             row["sim_resolves"] = "" if stats is None else stats.resolves
             row["sim_epochs"] = "" if stats is None else stats.epochs
             row["sim_events"] = "" if stats is None else stats.events
+            row["sim_losses"] = "" if stats is None else stats.losses
+            row["sim_stalls"] = "" if stats is None else stats.stalls
         return row
 
 
