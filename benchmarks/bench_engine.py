@@ -35,6 +35,8 @@ import math
 import time
 from pathlib import Path
 
+from record import finish, make_metric
+
 from repro.clusters.profiles import get_cluster
 from repro.measure.alltoall import measure_alltoall
 
@@ -217,8 +219,10 @@ def _scale_rung() -> dict:
 
 
 def run_engine_bench(output_path: Path = OUTPUT_PATH) -> dict:
-    """Run all three ladders; write and return the entry."""
+    """Run all three ladders; write and return the schema record."""
     legs, speedups, equivalent = _lossless_ladder()
+    lossy = _lossy_ladder()
+    scale = _scale_rung()
     entry = {
         "bench": "engine_throughput",
         "cluster": "gigabit-ethernet (loss=None)",
@@ -230,12 +234,35 @@ def run_engine_bench(output_path: Path = OUTPUT_PATH) -> dict:
         "legs": legs,
         "speedup": speedups,
         "equivalent": equivalent,
-        "lossy": _lossy_ladder(),
-        "scale": _scale_rung(),
+        "lossy": lossy,
+        "scale": scale,
     }
-    output_path.parent.mkdir(parents=True, exist_ok=True)
-    output_path.write_text(json.dumps(entry, indent=2) + "\n")
-    return entry
+    # Tracked, machine-normalized metrics: every value is a ratio
+    # against the fluid reference engine on this same machine, so a
+    # committed baseline gates runs on any container speed.  Tolerances
+    # mirror the existing CI bars (10x/5x floors vs ~14x/~8x typical).
+    fluid_64_s = legs[str(FLUID_MAX_N)]["fluid"]["elapsed_s"]
+    metrics = {
+        "lossless_speedup_n64": make_metric(
+            speedups["64"], direction="higher", tolerance=0.30, unit="x"
+        ),
+        "lossy_speedup_gige_n64": make_metric(
+            lossy["gigabit-ethernet"]["speedup"]["64"],
+            direction="higher", tolerance=0.40, unit="x",
+        ),
+        "lossy_speedup_fast_ethernet_n64": make_metric(
+            lossy["fast-ethernet"]["speedup"]["64"],
+            direction="higher", tolerance=0.40, unit="x",
+        ),
+        "scale_n1024_vs_fluid_n64": make_metric(
+            round(scale["elapsed_s"] / fluid_64_s, 3),
+            direction="lower", tolerance=0.60, unit="x",
+        ),
+        "equivalent": make_metric(
+            1.0 if equivalent else 0.0, direction="higher", tolerance=0.0
+        ),
+    }
+    return finish("engine_throughput", metrics, entry, output_path)
 
 
 def test_bench_engine():

@@ -25,6 +25,8 @@ import json
 import time
 from pathlib import Path
 
+from record import finish, make_metric
+
 from repro.clusters.profiles import get_cluster
 from repro.measure.alltoall import measure_alltoall
 
@@ -116,9 +118,17 @@ def run_obs_bench(output_path: Path = OUTPUT_PATH) -> dict:
         "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
         "legs": legs,
     }
-    output_path.parent.mkdir(parents=True, exist_ok=True)
-    output_path.write_text(json.dumps(entry, indent=2) + "\n")
-    return entry
+    # Tracked overheads are ratios of two runs on the same machine —
+    # inherently machine-normalized.  Tolerance matches the existing
+    # 1.05 acceptance bar around the 1.0 ideal.
+    metrics = {
+        f"disabled_overhead_{engine}": make_metric(
+            legs[engine]["disabled_overhead"],
+            direction="lower", tolerance=0.05, unit="x",
+        )
+        for engine in ENGINES
+    }
+    return finish("obs_overhead", metrics, entry, output_path)
 
 
 def test_bench_obs():

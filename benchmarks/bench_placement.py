@@ -25,6 +25,8 @@ import json
 import time
 from pathlib import Path
 
+from record import finish, make_metric, per_fluid_unit
+
 from repro.experiments.table_placement import SHIFT_OFFSET, stress_scenario
 from repro.placement import optimize_placement
 
@@ -76,9 +78,28 @@ def run_placement_bench(output_path: Path = OUTPUT_PATH) -> dict:
         "legs": legs,
         "never_regressed": never_regressed,
     }
-    output_path.parent.mkdir(parents=True, exist_ok=True)
-    output_path.write_text(json.dumps(entry, indent=2) + "\n")
-    return entry
+    # Tracked: the no-regression invariant, both optimizers' predicted
+    # improvement ratios at n=16 (pure model arithmetic — already
+    # machine-independent), and greedy search throughput in fluid units.
+    metrics = {
+        "never_regressed": make_metric(
+            1.0 if never_regressed else 0.0, direction="higher",
+            tolerance=0.0,
+        ),
+        "greedy_improvement_n16": make_metric(
+            legs["greedy/16"]["improvement_ratio"],
+            direction="higher", tolerance=0.25, unit="x",
+        ),
+        "anneal_improvement_n16": make_metric(
+            legs["anneal/16"]["improvement_ratio"],
+            direction="higher", tolerance=0.25, unit="x",
+        ),
+        "greedy_evals_per_fluid_unit": make_metric(
+            round(per_fluid_unit(legs["greedy/16"]["evaluations_per_sec"]), 1),
+            direction="higher", tolerance=0.60,
+        ),
+    }
+    return finish("placement_optimizers", metrics, entry, output_path)
 
 
 def test_bench_placement():

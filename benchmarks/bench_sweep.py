@@ -28,6 +28,8 @@ import os
 import time
 from pathlib import Path
 
+from record import finish, make_metric, per_fluid_unit
+
 from repro.sweeps import SweepRunner, SweepSpec
 
 OUTPUT_PATH = Path(__file__).parent / "output" / "BENCH_sweep.json"
@@ -86,6 +88,7 @@ def run_sweep_bench(output_path: Path = OUTPUT_PATH) -> dict:
             "points_per_sec": round(len(points) / elapsed, 2),
         }
 
+    identical = serial_rows == cold_rows == warm_rows
     entry = {
         "bench": "sweep_executor_throughput",
         "points": len(points),
@@ -96,11 +99,25 @@ def run_sweep_bench(output_path: Path = OUTPUT_PATH) -> dict:
         "process_warm": leg(warm_s),
         "speedup_cold": round(serial_s / cold_s, 2),
         "speedup_warm": round(serial_s / warm_s, 2),
-        "identical_rows": serial_rows == cold_rows == warm_rows,
+        "identical_rows": identical,
     }
-    output_path.parent.mkdir(parents=True, exist_ok=True)
-    output_path.write_text(json.dumps(entry, indent=2) + "\n")
-    return entry
+    # Tracked metrics: executor-equivalence (hard invariant), warm-pool
+    # reuse vs cold spin-up (a same-machine ratio), and the serial
+    # pipeline's throughput in fluid units (machine-normalized).
+    metrics = {
+        "identical_rows": make_metric(
+            1.0 if identical else 0.0, direction="higher", tolerance=0.0
+        ),
+        "warm_vs_cold": make_metric(
+            round(warm_s / cold_s, 3), direction="lower", tolerance=0.50,
+            unit="x",
+        ),
+        "serial_points_per_fluid_unit": make_metric(
+            round(per_fluid_unit(len(points) / serial_s), 3),
+            direction="higher", tolerance=0.50,
+        ),
+    }
+    return finish("sweep_executor_throughput", metrics, entry, output_path)
 
 
 def test_bench_sweep():

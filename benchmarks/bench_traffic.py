@@ -17,6 +17,8 @@ import os
 import time
 from pathlib import Path
 
+from record import finish, make_metric, per_fluid_unit
+
 from repro.sweeps import SweepRunner, SweepSpec
 
 OUTPUT_PATH = Path(__file__).parent / "output" / "BENCH_traffic.json"
@@ -56,9 +58,15 @@ def run_traffic_bench(output_path: Path = OUTPUT_PATH) -> dict:
             sum(s.mean_time for s in result.samples), 6
         ),
     }
-    output_path.parent.mkdir(parents=True, exist_ok=True)
-    output_path.write_text(json.dumps(entry, indent=2) + "\n")
-    return entry
+    # The absolute points/sec is container-speed-dependent; the tracked
+    # value is scaled into fluid units so baselines travel.
+    metrics = {
+        "points_per_fluid_unit": make_metric(
+            round(per_fluid_unit(result.n_points / elapsed), 3),
+            direction="higher", tolerance=0.50,
+        ),
+    }
+    return finish("traffic_pattern_sweep", metrics, entry, output_path)
 
 
 def test_bench_traffic():

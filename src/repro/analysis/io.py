@@ -42,6 +42,7 @@ SWEEP_SCHEMA: dict[str, Callable[[str], object]] = {
     "sim_events": int,
     "sim_losses": int,
     "sim_stalls": int,
+    "sim_solve_reuses": int,
 }
 
 

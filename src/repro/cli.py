@@ -38,11 +38,27 @@ Trace one instrumented run and export it for Perfetto /
 
     python -m repro.cli trace gigabit-ethernet --nprocs 8 --size 32kB \
         --format chrome --out out/trace.json
+
+Track the benchmark trajectory: ingest fresh ``BENCH_*.json`` artifacts
+into the run ledger, render per-metric history, and gate a build on the
+committed baselines (nonzero exit on regression)::
+
+    python -m repro.cli bench ingest benchmarks/output/
+    python -m repro.cli bench report --metric lossless_speedup_n64
+    python -m repro.cli bench compare --baseline benchmarks/baselines/ \
+        benchmarks/output/
+
+Every ``run``/``sweep``/``fit``/``characterize``/``compare-models``
+invocation appends a fingerprinted entry (git sha, python/numpy, cpu
+count, wall time, metrics snapshot) to the ledger —
+``.repro/ledger.jsonl`` by default, ``REPRO_LEDGER`` overrides the
+path or disables it (``REPRO_LEDGER=off``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from . import api, __version__
@@ -56,6 +72,67 @@ from .exceptions import (
 )
 from .experiments.registry import EXPERIMENTS, run_experiment
 from .units import format_time, parse_size
+
+
+def _scenario_key(scenario) -> str | None:
+    """Short content hash of a scenario's cache payload (ledger field)."""
+    try:
+        import hashlib
+        import json as _json
+
+        payload = scenario.spec.cache_payload()
+        canonical = _json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+    except Exception:
+        return None
+
+
+class _LedgerScope:
+    """Record one CLI invocation in the run ledger on exit.
+
+    Captures wall time and the metrics-registry delta of everything the
+    command did; extra fields accumulate via :meth:`note`.  Recording is
+    best-effort by construction (:mod:`repro.obs.ledger` never raises),
+    so a read-only filesystem cannot fail a command.
+    """
+
+    def __init__(self, kind: str, **fields) -> None:
+        import time as _time
+
+        from .obs.metrics import REGISTRY
+
+        self.kind = kind
+        self.fields = {k: v for k, v in fields.items() if v is not None}
+        self._start = _time.perf_counter()
+        self._before = REGISTRY.snapshot()
+
+    def note(self, **fields) -> None:
+        self.fields.update({k: v for k, v in fields.items() if v is not None})
+
+    def finish(self, exit_code: int = 0) -> None:
+        import time as _time
+
+        from .obs.ledger import record_run
+        from .obs.metrics import REGISTRY, diff_snapshots
+
+        record_run(
+            self.kind,
+            wall_s=round(_time.perf_counter() - self._start, 4),
+            exit_code=exit_code,
+            metrics=diff_snapshots(self._before, REGISTRY.snapshot()) or None,
+            **self.fields,
+        )
+
+
+#: The in-flight invocation's ledger scope (set by :func:`main`).
+_ACTIVE_LEDGER: "_LedgerScope | None" = None
+
+
+def _ledger_note(**fields) -> None:
+    """Attach fields (scenario key, point counts) to the pending entry."""
+    if _ACTIVE_LEDGER is not None:
+        _ACTIVE_LEDGER.note(**fields)
+
 
 def _doc_summary(obj) -> str:
     """First docstring line, or empty (user plugins may be undocumented)."""
@@ -355,6 +432,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from .engines import ENGINE_ENV
 
         os.environ[ENGINE_ENV] = api.ENGINES.canonical(args.engine)
+    _ledger_note(experiment=args.experiment, scale=args.scale)
     result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
     print(result.render())
     if args.csv:
@@ -377,6 +455,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
             print(f"invalid --placement: {exc}", file=sys.stderr)
             return 2
     print(f"scenario  : {scenario.describe()}")
+    _ledger_note(scenario=args.scenario, scenario_key=_scenario_key(scenario))
     try:
         result = scenario.sweep()
     except (MeasurementError, ScenarioError, SimulationError) as exc:
@@ -404,6 +483,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         return 2
     cluster = scenario.profile
     workload = scenario.spec.workload
+    _ledger_note(cluster=cluster.name, scenario_key=_scenario_key(scenario))
     kwargs = {}
     if args.engine:
         kwargs["engine"] = args.engine
@@ -491,6 +571,10 @@ def _cmd_optimize_placement(args: argparse.Namespace) -> int:
             )
             return 2
         pattern = _parse_pattern_arg(args.pattern)
+    _ledger_note(
+        cluster=scenario.name, optimizer=optimizer["name"],
+        scenario_key=_scenario_key(scenario),
+    )
     try:
         result = scenario.optimize_placement(
             args.nprocs,
@@ -636,6 +720,10 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         return 2
     print(f"scenario  : {scenario.describe()}")
     print(f"model     : {model.name}")
+    _ledger_note(
+        cluster=scenario.name, model=model.name,
+        scenario_key=_scenario_key(scenario),
+    )
     try:
         fitted = scenario.fit_model(model.name, samples=samples)
         used = samples if samples is not None else scenario.grid_samples()
@@ -666,6 +754,9 @@ def _cmd_compare_models(args: argparse.Namespace) -> int:
         return code
     models = _csv_list(args.models) if args.models else None
     print(f"scenario  : {scenario.describe()}")
+    _ledger_note(
+        cluster=scenario.name, scenario_key=_scenario_key(scenario)
+    )
     try:
         comparison = scenario.compare_models(
             models, samples=samples, k=args.k
@@ -772,12 +863,78 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_ingest(args: argparse.Namespace) -> int:
+    """Load BENCH_*.json records into the run ledger."""
+    from .obs.bench import load_records
+    from .obs.ledger import default_ledger
+
+    try:
+        records = load_records(args.paths)
+    except (FileNotFoundError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if not records:
+        print("no schema-conforming bench records found", file=sys.stderr)
+        return 1
+    ledger = default_ledger()
+    if not ledger.enabled:
+        print(
+            "ledger disabled (REPRO_LEDGER); nothing ingested",
+            file=sys.stderr,
+        )
+        return 1
+    for record in records:
+        ledger.record("bench", bench=record.get("bench"), record=record)
+    print(f"ingested {len(records)} bench record(s) into {ledger.path}")
+    return 0
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    """Render the per-metric trajectory recorded in the ledger."""
+    from .obs.bench import render_trajectory
+    from .obs.ledger import Ledger, default_ledger
+
+    ledger = Ledger(args.ledger) if args.ledger else default_ledger()
+    entries = ledger.entries(kind="bench")
+    print(render_trajectory(entries, bench=args.bench, metric=args.metric))
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Gate current bench records against committed baselines."""
+    from .obs.bench import compare, load_records, render_findings
+
+    try:
+        baseline = load_records(args.baseline)
+        current = load_records(args.paths)
+    except (FileNotFoundError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if not baseline:
+        print("no schema-conforming baseline records", file=sys.stderr)
+        return 2
+    if not current:
+        print("no schema-conforming current records", file=sys.stderr)
+        return 2
+    findings = compare(baseline, current)
+    print(render_findings(findings))
+    bad = [f for f in findings if not f.ok]
+    _ledger_note(tracked=len(findings), regressions=len(bad))
+    return 1 if bad else 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .sweeps import ResultCache, SweepRunner, SweepSpec, default_cache_dir
 
     if not _check_engine(args.engine):
         return 2
     if not _check_placements(args.placement):
+        return 2
+    if args.heartbeat is not None and args.heartbeat <= 0:
+        print(
+            "invalid sweep options: --heartbeat must be positive",
+            file=sys.stderr,
+        )
         return 2
     cache = None if args.no_cache else ResultCache(
         args.cache_dir or default_cache_dir()
@@ -815,6 +972,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             return 2
         if args.engine:
             scenario = _with_engine(scenario, args.engine)
+        if args.heartbeat is not None:
+            from .obs.heartbeat import HeartbeatSink
+
+            sinks = sinks + (HeartbeatSink(args.heartbeat),)
+        _ledger_note(
+            scenario=args.scenario, scenario_key=_scenario_key(scenario)
+        )
         try:
             result = scenario.sweep(runner=runner, sinks=sinks, progress=progress)
         except (MeasurementError, ScenarioError, SimulationError) as exc:
@@ -858,6 +1022,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"invalid sweep spec: {exc}", file=sys.stderr)
         return 2
+    if args.heartbeat is not None:
+        from .obs.heartbeat import HeartbeatSink
+
+        sinks = sinks + (HeartbeatSink(args.heartbeat, total=spec.n_points),)
+    _ledger_note(spec=spec.describe(), n_points=spec.n_points)
     try:
         result = runner.run(spec, sinks=sinks, progress=progress)
     except KeyError as exc:
@@ -1219,16 +1388,100 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream rows to FILE, sink picked by extension "
              "(.csv or .jsonl; repeatable)",
     )
+    p_sweep.add_argument(
+        "--heartbeat", nargs="?", const=5.0, type=float, default=None,
+        metavar="SEC",
+        help="print a live progress line (rows/sec, hit rate, ETA, top "
+             "metric deltas) to stderr every SEC seconds (default: 5)",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="track the benchmark trajectory: ingest BENCH_*.json into "
+             "the run ledger, report per-metric history, gate on baselines",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_bi = bench_sub.add_parser(
+        "ingest",
+        help="append schema-conforming bench records to the run ledger",
+    )
+    p_bi.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="BENCH_*.json files or directories holding them",
+    )
+    p_bi.set_defaults(func=_cmd_bench_ingest)
+    p_br = bench_sub.add_parser(
+        "report",
+        help="render the per-metric trajectory recorded in the ledger",
+    )
+    p_br.add_argument(
+        "--bench", default=None, metavar="NAME",
+        help="only this benchmark (default: all)",
+    )
+    p_br.add_argument(
+        "--metric", default=None, metavar="NAME",
+        help="only this metric (default: all)",
+    )
+    p_br.add_argument(
+        "--ledger", default=None, metavar="FILE",
+        help="read this ledger file (default: the active run ledger)",
+    )
+    p_br.set_defaults(func=_cmd_bench_report)
+    p_bc = bench_sub.add_parser(
+        "compare",
+        help="compare current bench records against committed baselines; "
+             "exit 1 when a tracked metric regresses beyond its tolerance",
+    )
+    p_bc.add_argument(
+        "--baseline", action="append", required=True, metavar="PATH",
+        help="baseline record files or directories (repeatable)",
+    )
+    p_bc.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="current BENCH_*.json files or directories",
+    )
+    p_bc.set_defaults(func=_cmd_bench_compare)
     return parser
+
+
+#: Commands recorded in the run ledger.  Pure introspection (``list``,
+#: ``predict``) stays out; everything that measures, fits, searches, or
+#: gates appends a fingerprinted entry.
+_LEDGERED = {
+    "run", "sweep", "characterize", "fit", "compare-models",
+    "optimize-placement", "bench",
+}
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
+    global _ACTIVE_LEDGER
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    if args.command not in _LEDGERED:
+        return args.func(args)
+    kind = args.command
+    if kind == "bench":
+        kind = f"bench-{args.bench_command}"
+    _ACTIVE_LEDGER = _LedgerScope(
+        kind, argv=list(argv) if argv is not None else sys.argv[1:]
+    )
+    code = 1
+    try:
+        code = args.func(args)
+        return code
+    finally:
+        scope, _ACTIVE_LEDGER = _ACTIVE_LEDGER, None
+        scope.finish(code)
 
 
 if __name__ == "__main__":  # pragma: no cover
-    raise SystemExit(main())
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe early;
+        # detach stdout so interpreter shutdown does not re-raise.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

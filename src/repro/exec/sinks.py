@@ -45,7 +45,7 @@ ROW_FIELDS = [
 #: counters).
 STATS_ROW_FIELDS = [
     "engine", "sim_resolves", "sim_epochs", "sim_events",
-    "sim_losses", "sim_stalls",
+    "sim_losses", "sim_stalls", "sim_solve_reuses",
 ]
 
 

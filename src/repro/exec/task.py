@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING
 
 from ..core.signature import AlltoallSample
 from ..measure.alltoall import measure_alltoall
+from ..obs.metrics import REGISTRY, diff_snapshots
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..clusters.profiles import ClusterProfile
@@ -72,6 +73,14 @@ class TaskOutcome:
     (profile rebuild + simulation), measured where the work actually
     ran — it crosses process boundaries as a plain float and feeds the
     sweep profiling layer (:class:`repro.obs.SweepProfile`).
+
+    ``metrics`` is the worker-side metrics delta of this task (a
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`-shaped dict of
+    what the task's work incremented), captured where the work ran.  It
+    pickles across any executor; the runner merges it into the parent
+    registry only when the outcome actually crossed a process boundary
+    (in-process execution already incremented the parent's counters
+    directly — merging again would double-count).
     """
 
     index: int
@@ -81,6 +90,7 @@ class TaskOutcome:
     traceback: str | None = None
     attempts: int = 1
     elapsed: float = 0.0
+    metrics: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -120,6 +130,7 @@ def run_task(task: ExecutionTask) -> TaskOutcome:
     """
     point = task.point
     start = time.perf_counter()
+    before = REGISTRY.snapshot()
     try:
         cluster = _cluster_for(task)
         sample = measure_alltoall(
@@ -140,7 +151,11 @@ def run_task(task: ExecutionTask) -> TaskOutcome:
             error_type=type(exc).__name__,
             traceback=_tb.format_exc(),
             elapsed=time.perf_counter() - start,
+            metrics=diff_snapshots(before, REGISTRY.snapshot()) or None,
         )
     return TaskOutcome(
-        index=task.index, sample=sample, elapsed=time.perf_counter() - start
+        index=task.index,
+        sample=sample,
+        elapsed=time.perf_counter() - start,
+        metrics=diff_snapshots(before, REGISTRY.snapshot()) or None,
     )

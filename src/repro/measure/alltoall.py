@@ -29,6 +29,7 @@ from ..clusters.profiles import ClusterProfile
 from ..core.signature import AlltoallSample
 from ..engines import default_engine
 from ..exceptions import MeasurementError, ScenarioError, UnknownNameError
+from ..obs.metrics import REGISTRY, record_sim_stats
 from ..placement import apply_placement, as_placement
 from ..registry import ALGORITHMS, ENGINES
 from ..simmpi.collectives import variant_for
@@ -178,11 +179,15 @@ def measure_alltoall(
         else:
             result = engine_fn(cluster, n_processes, program, run_arg, rep_seed)
         times[rep] = result.duration
+        # Always-on self-measurement: a handful of counter bumps per
+        # rep, orders of magnitude below the simulation they describe.
+        record_sim_stats(result.stats)
         if collect_stats and result.stats is not None:
             merged_stats = (
                 result.stats if merged_stats is None
                 else merged_stats.merged(result.stats)
             )
+    REGISTRY.counter("measure.samples").inc(1, engine=engine_name)
     sample = AlltoallSample(
         n_processes=n_processes,
         msg_size=int(msg_size),

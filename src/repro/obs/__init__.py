@@ -16,13 +16,25 @@ lets you watch that happen instead of trusting a final duration:
 * :class:`Observation` — one observed run: trace + timeline + report,
   returned by ``Scenario.trace()`` / ``measure(metrics=True)``;
 * :class:`SweepProfile` — where a sweep's wall-time went (cache hits,
-  in-worker simulation seconds, executor overhead, retries).
+  in-worker simulation seconds, executor overhead, retries);
+* :mod:`repro.obs.metrics` — the process-safe registry of labeled
+  counters/gauges/histograms every layer records into, with the
+  snapshot/merge protocol that carries worker-side increments back to
+  the parent across any executor;
+* :mod:`repro.obs.ledger` — the append-only JSONL run ledger
+  (fingerprinted entries per CLI/bench invocation);
+* :mod:`repro.obs.bench` — the shared benchmark-record schema and the
+  regression gate behind ``repro.cli bench ingest|report|compare``;
+* :class:`HeartbeatSink` — a periodic stderr ticker (rows/sec, hit
+  rate, ETA, top metric deltas) that composes with CSV/JSONL sinks.
 
 Everything here is **opt-in**: the default measurement path never
 constructs a collector, so cache keys and row files stay byte-identical
-with and without this package.  The package is a leaf — it imports only
-NumPy and value types from :mod:`repro.simnet` — so every other layer
-may import it freely.
+with and without this package.  (Metric counters are always *collected*
+— they are dict updates, invisible next to a simulation — but never
+surface anywhere unless asked.)  The package is a leaf — it imports
+only NumPy and value types from :mod:`repro.simnet` — so every other
+layer may import it freely.
 """
 
 from .contention import ContentionReport, LinkContention, predicted_concurrency
@@ -31,6 +43,18 @@ from .export import (
     to_chrome,
     to_jsonl,
     write_trace,
+)
+from .heartbeat import HeartbeatSink
+from .ledger import LEDGER_ENV, Ledger, default_ledger, record_run
+from .metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    merge_snapshots,
+    record_sim_stats,
 )
 from .observe import Observation
 from .profile import SweepProfile
@@ -47,4 +71,17 @@ __all__ = [
     "to_chrome",
     "to_jsonl",
     "write_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "diff_snapshots",
+    "merge_snapshots",
+    "record_sim_stats",
+    "Ledger",
+    "LEDGER_ENV",
+    "default_ledger",
+    "record_run",
+    "HeartbeatSink",
 ]

@@ -1,0 +1,183 @@
+"""Append-only JSONL run ledger: what ran, where, and what it cost.
+
+Every ``measure``/``sweep``/``fit``/bench invocation appends one
+fingerprinted entry to a JSON-lines file — the durable record the
+benchmark-trajectory toolchain (:mod:`repro.obs.bench`) reads back.
+An entry carries:
+
+* ``kind`` — what ran (``sweep``, ``run``, ``fit``, ``bench``, ...);
+* ``fingerprint`` — where it ran: git sha, python/numpy versions, cpu
+  count, platform (see :func:`environment_fingerprint`);
+* ``ts`` — UNIX timestamp;
+* caller-supplied fields: scenario cache key, wall time, a metrics
+  snapshot (:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`), bench
+  payloads.
+
+Location: ``$REPRO_LEDGER`` when set (a path, or one of
+``0/off/none/false/disabled`` to turn recording off entirely), else
+``.repro/ledger.jsonl`` under the current directory.  Writes are
+single-``write`` appends of one line — atomic enough for concurrent
+CLI invocations on POSIX — and **recording never raises**: a read-only
+filesystem degrades to a no-op, not a failed sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+
+__all__ = [
+    "LEDGER_ENV",
+    "Ledger",
+    "default_ledger",
+    "environment_fingerprint",
+    "record_run",
+]
+
+#: Environment override: a path, or a falsy token to disable recording.
+LEDGER_ENV = "REPRO_LEDGER"
+
+#: ``REPRO_LEDGER`` values that disable the ledger entirely.
+_DISABLED = frozenset({"0", "off", "none", "false", "disabled"})
+
+#: Default ledger location (relative to the working directory).
+DEFAULT_PATH = Path(".repro") / "ledger.jsonl"
+
+_git_sha_cache: str | None | bool = False  # False = not probed yet
+
+
+def _git_sha() -> str | None:
+    """Current commit sha (memoised; ``None`` outside a git checkout)."""
+    global _git_sha_cache
+    if _git_sha_cache is False:
+        try:
+            _git_sha_cache = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True, text=True, timeout=5, check=True,
+            ).stdout.strip() or None
+        except Exception:
+            _git_sha_cache = None
+    return _git_sha_cache
+
+
+def environment_fingerprint() -> dict[str, object]:
+    """Who/where: enough to interpret a ledger entry's numbers later."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep
+        numpy_version = None
+    return {
+        "git_sha": _git_sha(),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+    }
+
+
+class Ledger:
+    """One JSONL ledger file: append entries, iterate them back.
+
+    ``path=None`` builds a disabled ledger whose :meth:`append` is a
+    no-op — call sites never need to branch on whether recording is on.
+    """
+
+    def __init__(self, path: str | Path | None) -> None:
+        self.path = Path(path) if path is not None else None
+
+    @property
+    def enabled(self) -> bool:
+        return self.path is not None
+
+    def append(self, entry: dict) -> bool:
+        """Append one entry (one JSON line).  Never raises.
+
+        Returns whether the entry actually reached disk — ``False`` for
+        disabled ledgers and IO failures alike.
+        """
+        if self.path is None:
+            return False
+        try:
+            line = json.dumps(entry, sort_keys=True, default=str)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a") as handle:
+                handle.write(line + "\n")
+            return True
+        except Exception:
+            return False
+
+    def record(self, kind: str, **fields) -> dict:
+        """Build a fingerprinted entry for *kind* and append it.
+
+        Returns the entry (recorded or not), so callers can echo it.
+        ``None``-valued fields are dropped — absent, not null, in the
+        file.
+        """
+        entry: dict[str, object] = {
+            "kind": kind,
+            "ts": round(time.time(), 3),
+            "fingerprint": environment_fingerprint(),
+        }
+        entry.update({k: v for k, v in fields.items() if v is not None})
+        self.append(entry)
+        return entry
+
+    def entries(self, *, kind: str | None = None) -> list[dict]:
+        """All entries (oldest first), optionally filtered by ``kind``.
+
+        Unparseable lines are skipped — a torn concurrent append must
+        not poison every later read of the ledger.
+        """
+        if self.path is None or not self.path.exists():
+            return []
+        out: list[dict] = []
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict) and (
+                kind is None or entry.get("kind") == kind
+            ):
+                out.append(entry)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Ledger({str(self.path)!r})"
+
+
+def default_ledger() -> Ledger:
+    """The ledger the environment asks for.
+
+    ``REPRO_LEDGER`` unset → ``.repro/ledger.jsonl``; set to a falsy
+    token (``0``/``off``/``none``/``false``/``disabled``) → disabled;
+    set to anything else → that path.
+    """
+    raw = os.environ.get(LEDGER_ENV)
+    if raw is None or not raw.strip():
+        return Ledger(DEFAULT_PATH)
+    if raw.strip().lower() in _DISABLED:
+        return Ledger(None)
+    return Ledger(raw.strip())
+
+
+def record_run(kind: str, **fields) -> dict:
+    """Record one invocation in the environment's default ledger.
+
+    The convenience every CLI command calls:
+    ``record_run("sweep", scenario_key=..., wall_s=..., metrics=...)``.
+    Never raises; returns the entry.
+    """
+    return default_ledger().record(kind, **fields)

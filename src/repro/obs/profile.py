@@ -95,6 +95,14 @@ class SweepProfile:
             f"  cache   : {self.n_cached} hit / "
             f"{self.n_simulated + self.n_failed} miss "
             f"({self.hit_rate:.0%} hit rate)",
+        ]
+        if self.n_points and not (self.n_simulated + self.n_failed):
+            # Every point came from the cache: there is no in-worker time
+            # or executor overhead to break down, and saying so beats
+            # printing a pair of 0.0 ms lines.
+            lines.append("  sim     : everything served from cache")
+            return "\n".join(lines)
+        lines += [
             f"  sim     : {_fmt_seconds(self.sim_time)} in-worker across "
             f"{self.n_simulated} simulated point"
             f"{'s' if self.n_simulated != 1 else ''}",

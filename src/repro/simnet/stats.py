@@ -50,6 +50,10 @@ class SimStats:
         Flow stalls: how many times a flow left the active set to sit
         out an RTO penalty.  One stall may cover several chained losses,
         so ``stalls <= losses`` whenever the loss overlay is enabled.
+    solve_reuses:
+        Allocation solves skipped because a warm-started solution was
+        still valid (the vector engine's reuse optimization; always 0
+        for the fluid engine, which re-solves every epoch).
     """
 
     engine: str
@@ -58,6 +62,7 @@ class SimStats:
     events: int
     losses: int = 0
     stalls: int = 0
+    solve_reuses: int = 0
 
     def merged(self, other: "SimStats") -> "SimStats":
         """Counter-wise sum (for aggregating repetitions of one point)."""
@@ -68,6 +73,7 @@ class SimStats:
             events=self.events + other.events,
             losses=self.losses + other.losses,
             stalls=self.stalls + other.stalls,
+            solve_reuses=self.solve_reuses + other.solve_reuses,
         )
 
 

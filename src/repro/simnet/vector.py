@@ -424,6 +424,7 @@ class VectorSimulator:
                 events=self.engine.events_processed,
                 losses=self.total_losses,
                 stalls=self.stalls,
+                solve_reuses=self.solve_reuses,
             ),
         )
 

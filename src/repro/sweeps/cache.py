@@ -31,6 +31,7 @@ from pathlib import Path
 
 from ..clusters.profiles import ClusterProfile
 from ..core.signature import AlltoallSample
+from ..obs.metrics import REGISTRY
 from .spec import SweepPoint
 
 __all__ = [
@@ -182,7 +183,8 @@ class ResultCache:
         """
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text())
+            text = path.read_text()
+            payload = json.loads(text)
             sample = payload["sample"]
             result = AlltoallSample(
                 n_processes=int(sample["n_processes"]),
@@ -193,8 +195,11 @@ class ResultCache:
             )
         except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
             self.misses += 1
+            REGISTRY.counter("cache.misses").inc()
             return None
         self.hits += 1
+        REGISTRY.counter("cache.hits").inc()
+        REGISTRY.counter("cache.bytes_read").inc(len(text))
         return result
 
     def put(self, key: str, point: SweepPoint, sample: AlltoallSample) -> None:
@@ -214,8 +219,11 @@ class ResultCache:
             },
         }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
+        text = json.dumps(payload, sort_keys=True)
+        tmp.write_text(text)
         os.replace(tmp, path)
+        REGISTRY.counter("cache.writes").inc()
+        REGISTRY.counter("cache.bytes_written").inc(len(text))
 
     def __len__(self) -> int:
         if not self.root.exists():

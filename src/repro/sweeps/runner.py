@@ -154,6 +154,9 @@ class PointResult:
             row["sim_events"] = "" if stats is None else stats.events
             row["sim_losses"] = "" if stats is None else stats.losses
             row["sim_stalls"] = "" if stats is None else stats.stalls
+            row["sim_solve_reuses"] = (
+                "" if stats is None else stats.solve_reuses
+            )
         return row
 
 
@@ -645,7 +648,18 @@ class SweepRunner:
             return
         tasks, fan_out = self._plan(misses, points, profile, scenario)
         executor = self.executor if fan_out else _INLINE
-        yield from self._with_retries(executor, tasks)
+        if fan_out:
+            # Worker-side metric deltas ride back on the outcomes; fold
+            # them into this process's registry.  In-process execution
+            # already incremented it directly — merging there would
+            # double-count, so the merge is fan-out-only.
+            from ..obs.metrics import REGISTRY
+
+            for outcome in self._with_retries(executor, tasks):
+                REGISTRY.merge(outcome.metrics)
+                yield outcome
+        else:
+            yield from self._with_retries(executor, tasks)
 
     def _with_retries(self, executor: Executor, tasks: list[ExecutionTask]):
         """Run *tasks*, re-submitting failures up to ``retries`` times."""

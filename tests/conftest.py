@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
@@ -28,6 +30,28 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers", "slow: long-running simulation test (deselect with -m 'not slow')"
     )
+
+
+@pytest.fixture(autouse=True)
+def _ledger_off():
+    """Keep CLI invocations from appending to the working-dir run ledger.
+
+    Tests exercising the ledger re-point ``REPRO_LEDGER`` at a tmp path
+    themselves; everything else must not litter ``.repro/`` or slow down
+    on fingerprinting. Managed via ``os.environ`` directly rather than
+    ``monkeypatch`` so this autouse fixture does not pull the shared
+    ``monkeypatch`` instance ahead of per-class xunit teardown fixtures
+    (which would reorder env restoration around ``teardown_method``).
+    """
+    before = os.environ.get("REPRO_LEDGER")
+    os.environ["REPRO_LEDGER"] = "off"
+    try:
+        yield
+    finally:
+        if before is None:
+            os.environ.pop("REPRO_LEDGER", None)
+        else:
+            os.environ["REPRO_LEDGER"] = before
 
 
 @pytest.fixture

@@ -1,0 +1,186 @@
+"""Observability: the append-only JSONL run ledger.
+
+Covers the environment contract (``REPRO_LEDGER`` path/disable
+semantics), the never-raises append guarantee, entry filtering, and the
+CLI threading: every ledgered command appends one fingerprinted entry
+with wall time and a metrics delta.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.ledger import (
+    DEFAULT_PATH,
+    LEDGER_ENV,
+    Ledger,
+    default_ledger,
+    environment_fingerprint,
+    record_run,
+)
+
+
+class TestEnvironmentContract:
+    def test_unset_means_the_default_path(self, monkeypatch):
+        monkeypatch.delenv(LEDGER_ENV, raising=False)
+        ledger = default_ledger()
+        assert ledger.enabled
+        assert ledger.path == DEFAULT_PATH
+
+    @pytest.mark.parametrize(
+        "token", ["0", "off", "none", "false", "disabled", "OFF", " Off "]
+    )
+    def test_falsy_tokens_disable(self, monkeypatch, token):
+        monkeypatch.setenv(LEDGER_ENV, token)
+        assert not default_ledger().enabled
+
+    def test_any_other_value_is_a_path(self, monkeypatch, tmp_path):
+        target = tmp_path / "runs.jsonl"
+        monkeypatch.setenv(LEDGER_ENV, str(target))
+        ledger = default_ledger()
+        assert ledger.enabled
+        assert ledger.path == target
+
+    def test_blank_value_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv(LEDGER_ENV, "  ")
+        assert default_ledger().path == DEFAULT_PATH
+
+
+class TestLedger:
+    def test_record_and_read_back(self, tmp_path):
+        ledger = Ledger(tmp_path / "l.jsonl")
+        entry = ledger.record("sweep", n_points=4, skipped=None)
+        assert entry["kind"] == "sweep"
+        assert entry["n_points"] == 4
+        assert "skipped" not in entry  # None fields drop, not null
+        assert "ts" in entry and "fingerprint" in entry
+        (read,) = ledger.entries()
+        assert read["n_points"] == 4
+        assert len(ledger) == 1
+
+    def test_entries_filter_by_kind(self, tmp_path):
+        ledger = Ledger(tmp_path / "l.jsonl")
+        ledger.record("sweep")
+        ledger.record("bench")
+        ledger.record("sweep")
+        assert [e["kind"] for e in ledger.entries(kind="sweep")] == [
+            "sweep", "sweep",
+        ]
+        assert len(ledger.entries()) == 3
+
+    def test_torn_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        ledger = Ledger(path)
+        ledger.record("sweep")
+        with path.open("a") as handle:
+            handle.write('{"kind": "sw\n\n[1, 2]\n')
+        ledger.record("fit")
+        kinds = [e["kind"] for e in ledger.entries()]
+        assert kinds == ["sweep", "fit"]
+
+    def test_disabled_ledger_is_a_noop(self):
+        ledger = Ledger(None)
+        assert not ledger.enabled
+        assert ledger.append({"kind": "x"}) is False
+        assert ledger.entries() == []
+        # record still returns the entry so callers can echo it.
+        assert ledger.record("sweep")["kind"] == "sweep"
+
+    def test_append_never_raises(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        ledger = Ledger(blocker / "sub" / "l.jsonl")
+        assert ledger.append({"kind": "x"}) is False
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert Ledger(tmp_path / "never-written.jsonl").entries() == []
+
+    def test_record_run_honours_the_environment(self, monkeypatch, tmp_path):
+        target = tmp_path / "runs.jsonl"
+        monkeypatch.setenv(LEDGER_ENV, str(target))
+        record_run("fit", model="signature")
+        (entry,) = Ledger(target).entries()
+        assert entry["kind"] == "fit"
+        assert entry["model"] == "signature"
+
+
+class TestFingerprint:
+    def test_carries_the_environment(self):
+        fp = environment_fingerprint()
+        assert fp["python"].count(".") == 2
+        assert fp["numpy"]
+        assert fp["cpu_count"] >= 1
+        assert "platform" in fp
+
+
+class TestCliThreading:
+    def _ledger(self, monkeypatch, tmp_path):
+        target = tmp_path / "ledger.jsonl"
+        monkeypatch.setenv(LEDGER_ENV, str(target))
+        return Ledger(target)
+
+    def test_sweep_appends_one_fingerprinted_entry(
+        self, monkeypatch, tmp_path
+    ):
+        ledger = self._ledger(monkeypatch, tmp_path)
+        assert main([
+            "sweep", "--clusters", "myrinet", "--nprocs", "4",
+            "--sizes", "2kB", "--no-cache",
+        ]) == 0
+        (entry,) = ledger.entries()
+        assert entry["kind"] == "sweep"
+        assert entry["exit_code"] == 0
+        assert entry["n_points"] == 1
+        assert entry["wall_s"] > 0
+        assert entry["fingerprint"]["cpu_count"] >= 1
+        # The metrics delta of the invocation rides along.
+        assert entry["metrics"]["sim.runs"]["values"]["engine=fluid"] == 1.0
+
+    def test_failing_command_records_its_exit_code(
+        self, monkeypatch, tmp_path
+    ):
+        ledger = self._ledger(monkeypatch, tmp_path)
+        assert main(["characterize", "no-such-cluster"]) == 2
+        (entry,) = ledger.entries()
+        assert entry["kind"] == "characterize"
+        assert entry["exit_code"] == 2
+
+    def test_unledgered_commands_stay_out(self, monkeypatch, tmp_path):
+        ledger = self._ledger(monkeypatch, tmp_path)
+        assert main(["list", "engines"]) == 0
+        assert main(["predict", "gigabit-ethernet", "8", "32kB"]) == 0
+        assert ledger.entries() == []
+
+    def test_scenario_runs_record_the_cache_key(
+        self, monkeypatch, tmp_path
+    ):
+        ledger = self._ledger(monkeypatch, tmp_path)
+        scenario = tmp_path / "s.toml"
+        scenario.write_text(
+            "\n".join([
+                '[scenario]',
+                'name = "ledger-smoke"',
+                'base = "myrinet"',
+                '[scenario.workload]',
+                'nprocs = [4]',
+                'sizes = [2048, 8192, 32768, 131072]',
+                'reps = 1',
+            ]) + "\n"
+        )
+        assert main(["run", "--scenario", str(scenario)]) == 0
+        (entry,) = ledger.entries(kind="run")
+        assert entry["scenario"] == str(scenario)
+        assert len(entry["scenario_key"]) == 16
+
+    def test_disabled_ledger_keeps_commands_working(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        monkeypatch.setenv(LEDGER_ENV, "off")
+        assert main([
+            "sweep", "--clusters", "myrinet", "--nprocs", "4",
+            "--sizes", "2kB", "--no-cache",
+        ]) == 0
+        assert "simulated : 1" in capsys.readouterr().out
